@@ -1,0 +1,207 @@
+// Reproduction of the paper's **Figure 1**: the two basic approaches to
+// analog circuit synthesis — (a) knowledge-based design-plan execution and
+// (b) optimization-based search around a performance evaluator — plus the
+// evaluator subcategories of section 2.2 (equation-based, simulation-based,
+// and the ASTRX/OBLX relaxed-dc middle road).
+//
+// Fig. 1 itself is a schematic; the quantitative claim behind it is the
+// trade the text spells out: plans execute in microseconds but are rigid,
+// optimization is open to new specs/schematics but costs orders of magnitude
+// more evaluations.  We run all engines on the same spec grid and tabulate
+// success, quality, and cost.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "knowledge/opamp_plans.hpp"
+#include "sizing/eqmodel.hpp"
+#include "sizing/relaxed.hpp"
+#include "sizing/simmodel.hpp"
+#include "sizing/synth.hpp"
+
+namespace {
+using namespace amsyn;
+using Clock = std::chrono::steady_clock;
+
+struct SpecPoint {
+  double gainDb, ugf, pm, slew;
+};
+
+const std::vector<SpecPoint> kGrid = {
+    {60, 2e6, 60, 2e6},  {65, 5e6, 60, 5e6},   {70, 3e6, 55, 3e6},
+    {70, 1e7, 55, 1e7},  {75, 5e6, 60, 5e6},   {65, 2e7, 55, 2e7},
+};
+
+sizing::SpecSet specSetFor(const SpecPoint& p) {
+  sizing::SpecSet s;
+  s.atLeast("gain_db", p.gainDb)
+      .atLeast("ugf", p.ugf)
+      .atLeast("pm", p.pm)
+      .atLeast("slew", p.slew)
+      .minimize("power", 0.5, 1e-3);
+  return s;
+}
+
+void printComparison() {
+  const auto& proc = circuit::defaultProcess();
+  std::cout << "=== Figure 1: knowledge-based vs optimization-based synthesis ===\n";
+  std::cout << "(two-stage opamp, " << kGrid.size() << "-point spec grid; plan = Fig. 1a,\n";
+  std::cout << " eq-opt / relaxed-dc / sim-opt = Fig. 1b with the section-2.2 evaluators)\n\n";
+
+  core::Table t({"engine", "solved", "avg power (mW)", "avg evals", "avg time (ms)"});
+
+  // --- Fig. 1a: design-plan execution ---
+  {
+    std::size_t solved = 0;
+    double power = 0, timeMs = 0, evals = 0;
+    for (const auto& sp : kGrid) {
+      const auto t0 = Clock::now();
+      const auto plan = knowledge::twoStageOpampPlan();
+      const auto res = plan.execute(proc, {{"spec.gain_db", sp.gainDb},
+                                           {"spec.ugf", sp.ugf},
+                                           {"spec.pm", sp.pm},
+                                           {"spec.slew", sp.slew},
+                                           {"spec.cload", 5e-12}});
+      timeMs += std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      evals += static_cast<double>(res.trace.size());
+      if (!res.success) continue;
+      sizing::TwoStageEquationModel model(proc, 5e-12);
+      const auto perf = model.evaluate(knowledge::extractTwoStageDesign(res.context));
+      if (specSetFor(sp).satisfied(perf, 0.02)) {
+        ++solved;
+        power += perf.at("power");
+      }
+    }
+    t.addRow({"design plan (IDAC/OASYS)",
+              std::to_string(solved) + "/" + std::to_string(kGrid.size()),
+              core::Table::num(solved ? power / solved * 1e3 : 0),
+              core::Table::num(evals / kGrid.size()),
+              core::Table::num(timeMs / kGrid.size())});
+  }
+
+  // --- Fig. 1b with the equation evaluator (OPASYN/OPTIMAN) ---
+  {
+    std::size_t solved = 0;
+    double power = 0, timeMs = 0, evals = 0;
+    for (std::size_t i = 0; i < kGrid.size(); ++i) {
+      sizing::TwoStageEquationModel model(proc, 5e-12);
+      sizing::SynthesisOptions opts;
+      opts.seed = 100 + i;
+      const auto res = sizing::synthesize(model, specSetFor(kGrid[i]), opts);
+      timeMs += res.seconds * 1e3;
+      evals += static_cast<double>(res.evaluations);
+      if (res.feasible) {
+        ++solved;
+        power += res.performance.at("power");
+      }
+    }
+    t.addRow({"eq-based optimization (OPTIMAN)",
+              std::to_string(solved) + "/" + std::to_string(kGrid.size()),
+              core::Table::num(solved ? power / solved * 1e3 : 0),
+              core::Table::num(evals / kGrid.size()),
+              core::Table::num(timeMs / kGrid.size())});
+  }
+
+  // --- Fig. 1b with the relaxed-dc AWE evaluator (ASTRX/OBLX) ---
+  {
+    std::size_t solved = 0;
+    double power = 0, timeMs = 0, evals = 0;
+    // The relaxed formulation adds the bias unknowns to the search space;
+    // run a reduced grid to keep the bench brisk.
+    const std::vector<std::size_t> subset = {0, 2};
+    for (std::size_t i : subset) {
+      auto tmpl = sizing::twoStageTemplate(proc, {});
+      sizing::RelaxedDcModel model(std::move(tmpl), proc);
+      auto specs = specSetFor(kGrid[i]);
+      specs.atMost("_dc_residual", 1e-2, 4.0);
+      sizing::SynthesisOptions opts;
+      opts.seed = 200 + i;
+      opts.anneal.movesPerStage = 600;
+      const auto res = sizing::synthesize(model, specs, opts);
+      timeMs += res.seconds * 1e3;
+      evals += static_cast<double>(res.evaluations);
+      if (res.feasible) {
+        ++solved;
+        power += res.performance.at("power");
+      }
+    }
+    t.addRow({"relaxed-dc + AWE (ASTRX/OBLX)",
+              std::to_string(solved) + "/" + std::to_string(subset.size()),
+              core::Table::num(solved ? power / solved * 1e3 : 0),
+              core::Table::num(evals / subset.size()),
+              core::Table::num(timeMs / subset.size())});
+  }
+
+  // --- Fig. 1b with the full-simulation evaluator (FRIDGE) ---
+  {
+    std::size_t solved = 0;
+    double power = 0, timeMs = 0, evals = 0;
+    const std::vector<std::size_t> subset = {0, 2};
+    for (std::size_t i : subset) {
+      auto tmpl = sizing::twoStageTemplate(proc, {});
+      sizing::SimulationModel model(std::move(tmpl), proc);
+      sizing::SynthesisOptions opts;
+      opts.seed = 300 + i;
+      opts.anneal.movesPerStage = 96;  // full SPICE per move: keep it honest but finite
+      opts.anneal.stagnationStages = 6;
+      opts.refineEvaluations = 120;
+      const auto res = sizing::synthesize(model, specSetFor(kGrid[i]), opts);
+      timeMs += res.seconds * 1e3;
+      evals += static_cast<double>(res.evaluations);
+      if (res.feasible) {
+        ++solved;
+        power += res.performance.at("power");
+      }
+    }
+    t.addRow({"simulation-based (FRIDGE)",
+              std::to_string(solved) + "/" + std::to_string(subset.size()),
+              core::Table::num(solved ? power / solved * 1e3 : 0),
+              core::Table::num(evals / subset.size()),
+              core::Table::num(timeMs / subset.size())});
+  }
+
+  t.print(std::cout);
+  std::cout << "\nreading: the plan solves its covered specs in a handful of steps and\n"
+               "sub-millisecond time but cannot trade the objective; the optimizers pay\n"
+               "hundreds-to-thousands of evaluations for openness, with cost per\n"
+               "evaluation rising equation -> AWE -> full simulation, exactly the\n"
+               "trajectory section 2.2 describes.\n\n";
+}
+
+void BM_PlanExecution(benchmark::State& state) {
+  const auto& proc = circuit::defaultProcess();
+  const auto plan = knowledge::twoStageOpampPlan();
+  for (auto _ : state) {
+    const auto res = plan.execute(proc, {{"spec.gain_db", 70},
+                                         {"spec.ugf", 5e6},
+                                         {"spec.pm", 60},
+                                         {"spec.slew", 5e6},
+                                         {"spec.cload", 5e-12}});
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_PlanExecution)->Unit(benchmark::kMicrosecond);
+
+void BM_EquationSynthesis(benchmark::State& state) {
+  const auto& proc = circuit::defaultProcess();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sizing::TwoStageEquationModel model(proc, 5e-12);
+    sizing::SynthesisOptions opts;
+    opts.seed = seed++;
+    const auto res = sizing::synthesize(model, specSetFor(kGrid[0]), opts);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(BM_EquationSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduction of the paper's **Table 1**: "Example of synthesis experiment"
+// — the AMGIE pulse-detector frontend (charge-sensitive amplifier + 4-stage
+// pulse-shaping amplifier).  The paper reports the synthesis system cutting
+// power by ~6x versus an expert manual design (40 mW -> 7 mW) while meeting
+// peaking time, counting rate, noise, gain and output-range specs.
+//
+// We regenerate the table's three columns (specification / manual /
+// synthesis) from our own engine and check the *shape*: synthesis feasible,
+// power several times below manual, noise rising toward (but not past) its
+// budget.  The google-benchmark section times the synthesis run itself.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "knowledge/pulse_plan.hpp"
+#include "sizing/pulse.hpp"
+#include "sizing/synth.hpp"
+
+namespace {
+using namespace amsyn;
+
+sizing::SpecSet table1Specs() {
+  sizing::SpecSet s;
+  s.atMost("peaking_us", 1.5)
+      .atLeast("counting_khz", 200.0)
+      .atMost("noise_e", 1000.0)
+      .atLeast("gain_v_fc", 20.0)
+      .atMost("gain_v_fc", 23.0)
+      .atLeast("range_v", 1.0)
+      .minimize("power", 1.0, 1e-3)
+      .minimize("area_mm2", 0.2, 1.0);
+  return s;
+}
+
+void printTable1() {
+  const auto& proc = circuit::defaultProcess();
+  sizing::PulseDetectorModel model(proc);
+  const auto manual = model.evaluate(model.manualDesign());
+
+  sizing::SynthesisOptions opts;
+  opts.seed = 11;
+  const auto synth = sizing::synthesize(model, table1Specs(), opts);
+
+  // Knowledge-based (hierarchical OASYS-style plan) design for comparison.
+  const auto plan = knowledge::pulseDetectorPlan();
+  const auto planRes = plan.execute(proc, {{"spec.peaking_us", 1.5},
+                                           {"spec.counting_khz", 200},
+                                           {"spec.noise_e", 1000},
+                                           {"spec.gain_v_fc", 20},
+                                           {"spec.range_v", 1.0}});
+  sizing::Performance planPerf;
+  if (planRes.success)
+    planPerf = model.evaluate(knowledge::extractPulseDetectorDesign(planRes.context));
+
+  std::cout << "=== Table 1: pulse-detector frontend synthesis experiment ===\n";
+  std::cout << "(paper: manual 40 mW / 0.7 mm^2 vs synthesis 7 mW / 0.6 mm^2 — a ~6x\n";
+  std::cout << " power reduction at equal specs; we reproduce the shape, not the mW)\n\n";
+
+  core::Table t({"performance", "specification", "manual", "plan", "synthesis",
+                 "paper(man)", "paper(syn)"});
+  auto row = [&](const std::string& label, const std::string& spec, const std::string& key,
+                 double scale, const std::string& pm, const std::string& ps) {
+    t.addRow({label, spec, core::Table::num(manual.at(key) * scale),
+              planRes.success ? core::Table::num(planPerf.at(key) * scale) : "-",
+              core::Table::num(synth.performance.at(key) * scale), pm, ps});
+  };
+  row("peaking time (us)", "< 1.5", "peaking_us", 1.0, "1.1", "1.1");
+  row("counting rate (kHz)", "> 200", "counting_khz", 1.0, "200", "294");
+  row("noise (rms e-)", "< 1000", "noise_e", 1.0, "750", "905");
+  row("gain (V/fC)", "20", "gain_v_fc", 1.0, "20", "21");
+  row("output range (V)", "-1..1", "range_v", 1.0, "1", "1.5");
+  row("power (mW)", "minimal", "power", 1e3, "40", "7");
+  row("area (mm^2)", "minimal", "area_mm2", 1.0, "0.7", "0.6");
+  t.print(std::cout);
+
+  const double ratio = manual.at("power") / synth.performance.at("power");
+  std::cout << "\nsynthesis feasible: " << (synth.feasible ? "yes" : "NO") << "\n";
+  std::cout << "power reduction vs manual: " << core::Table::num(ratio)
+            << "x (paper: ~5.7x)\n";
+  std::cout << "model evaluations: " << synth.evaluations << "\n\n";
+}
+
+void BM_Table1Synthesis(benchmark::State& state) {
+  const auto& proc = circuit::defaultProcess();
+  sizing::PulseDetectorModel model(proc);
+  const auto specs = table1Specs();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sizing::SynthesisOptions opts;
+    opts.seed = seed++;
+    const auto res = sizing::synthesize(model, specs, opts);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(BM_Table1Synthesis)->Unit(benchmark::kMillisecond);
+
+void BM_Table1SingleEvaluation(benchmark::State& state) {
+  const auto& proc = circuit::defaultProcess();
+  sizing::PulseDetectorModel model(proc);
+  const auto x = model.manualDesign();
+  for (auto _ : state) {
+    const auto perf = model.evaluate(x);
+    benchmark::DoNotOptimize(perf);
+  }
+}
+BENCHMARK(BM_Table1SingleEvaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The paper's Table-1 scenario as an application: hierarchical synthesis of
+// a pulse-detector frontend (charge-sensitive amplifier + 4-stage pulse
+// shaper), reproducing the AMGIE experiment where the synthesis system beat
+// an expert's design by ~6x in power while meeting every spec.
+//
+// Build & run:  cmake --build build && ./build/examples/pulse_detector
+#include <iostream>
+
+#include "core/report.hpp"
+#include "sizing/pulse.hpp"
+#include "sizing/synth.hpp"
+
+int main() {
+  using namespace amsyn;
+  const auto& proc = circuit::defaultProcess();
+
+  sizing::PulseDetectorModel model(proc);
+
+  // Table 1's specification column.
+  sizing::SpecSet specs;
+  specs.atMost("peaking_us", 1.5)
+      .atLeast("counting_khz", 200.0)
+      .atMost("noise_e", 1000.0)
+      .atLeast("gain_v_fc", 20.0)
+      .atMost("gain_v_fc", 23.0)
+      .atLeast("range_v", 1.0)
+      .minimize("power", 1.0, 1e-3)
+      .minimize("area_mm2", 0.2, 1.0);
+
+  // The encoded expert solution ("manual" column).
+  const auto manual = model.evaluate(model.manualDesign());
+
+  // Optimization-based synthesis.
+  sizing::SynthesisOptions opts;
+  opts.seed = 11;
+  const auto synth = sizing::synthesize(model, specs, opts);
+
+  core::Table t({"performance", "specification", "manual", "synthesis"});
+  auto row = [&](const std::string& label, const std::string& spec, const std::string& key,
+                 double scale) {
+    t.addRow({label, spec, core::Table::num(manual.at(key) * scale),
+              core::Table::num(synth.performance.at(key) * scale)});
+  };
+  row("peaking time (us)", "< 1.5", "peaking_us", 1.0);
+  row("counting rate (kHz)", "> 200", "counting_khz", 1.0);
+  row("noise (rms e-)", "< 1000", "noise_e", 1.0);
+  row("gain (V/fC)", "20", "gain_v_fc", 1.0);
+  row("output range (+/- V)", "-1..1", "range_v", 1.0);
+  row("power (mW)", "minimal", "power", 1e3);
+  row("area (mm^2)", "minimal", "area_mm2", 1.0);
+  t.print(std::cout);
+
+  std::cout << "\nsynthesis " << (synth.feasible ? "meets every spec" : "FAILED specs")
+            << "; power improvement over the expert: "
+            << manual.at("power") / synth.performance.at("power") << "x  (paper: ~6x)\n";
+  std::cout << "model evaluations: " << synth.evaluations << ", wall time "
+            << synth.seconds << " s\n";
+  return synth.feasible ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Topology selection across a specification sweep: the three strategies of
+// section 2.2 side by side — heuristic rules (OPASYN-style), interval-
+// analysis boundary checking (ref [15]), and the genetic joint search
+// (DARWIN, ref [28]) — deciding between a single-stage OTA and a two-stage
+// Miller opamp as the gain requirement rises.
+//
+// Build & run:  cmake --build build && ./build/examples/topology_explorer
+#include <iostream>
+
+#include "core/report.hpp"
+#include "topology/genetic.hpp"
+#include "topology/library.hpp"
+#include "topology/select.hpp"
+
+int main() {
+  using namespace amsyn;
+  const auto& proc = circuit::defaultProcess();
+  const auto lib = topology::amplifierLibrary(proc, 5e-12);
+
+  core::Table t({"gain spec (dB)", "rule-based pick", "interval verdicts",
+                 "genetic winner", "genetic feasible"});
+
+  for (double gain : {30.0, 40.0, 50.0, 60.0, 70.0, 80.0}) {
+    sizing::SpecSet specs;
+    specs.atLeast("gain_db", gain).atLeast("ugf", 2e6).minimize("power", 1.0, 1e-3);
+
+    const auto rules = topology::ruleBasedSelect(lib, specs);
+    const auto intervals = topology::intervalSelect(lib, specs);
+    std::string verdicts;
+    for (const auto& c : intervals)
+      verdicts += c.name.substr(0, 3) + (c.feasible ? "+ " : "- ");
+
+    topology::GeneticOptions gopts;
+    gopts.seed = 31;
+    gopts.generations = 40;
+    const auto ga = topology::geneticSelectAndSize(lib, specs, gopts);
+
+    t.addRow({core::Table::num(gain), rules.front().name, verdicts, ga.topology,
+              ga.feasible ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nreading: 'ota+' / 'two-' etc. mark interval feasibility; the\n"
+               "single-stage OTA drops out as provably infeasible once the gain\n"
+               "spec passes what one stage can deliver, and every strategy then\n"
+               "converges on the two-stage Miller opamp.\n";
+  return 0;
+}

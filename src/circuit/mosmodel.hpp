@@ -1,0 +1,35 @@
+// Square-law (SPICE level-1) MOS model with channel-length modulation and
+// body effect.  Synthesis loops need millions of cheap, smooth evaluations
+// far more than they need BSIM accuracy; level 1 is exactly what the
+// surveyed 1990s tools (IDAC, OASYS, OPASYN, ASTRX/OBLX) designed against.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+
+namespace amsyn::circuit {
+
+enum class MosRegion : std::uint8_t { Cutoff, Triode, Saturation };
+
+/// Operating-point evaluation of one MOS device.
+struct MosOp {
+  MosRegion region = MosRegion::Cutoff;
+  double ids = 0.0;   ///< drain current, positive into drain for NMOS (A)
+  double vth = 0.0;   ///< effective threshold incl. body effect (V)
+  double vov = 0.0;   ///< overdrive |vgs| - |vth| (V, can be negative)
+  double gm = 0.0;    ///< d ids / d vgs (A/V)
+  double gds = 0.0;   ///< d ids / d vds (A/V)
+  double gmb = 0.0;   ///< d ids / d vbs (A/V)
+  double cgs = 0.0, cgd = 0.0, cgb = 0.0;  ///< intrinsic + overlap caps (F)
+  double cdb = 0.0, csb = 0.0;             ///< junction caps (F)
+};
+
+/// Evaluate the model at terminal voltages (vd, vg, vs, vb), all referenced
+/// to ground.  PMOS handled by internal sign symmetry.
+MosOp evalMos(const MosParams& p, const Process& proc, double vd, double vg, double vs,
+              double vb);
+
+/// Thermal + flicker drain-noise current PSD (A^2/Hz) at frequency f.
+double mosNoisePsd(const MosParams& p, const Process& proc, const MosOp& op, double f);
+
+}  // namespace amsyn::circuit

@@ -1,0 +1,10 @@
+#include "circuit/process.hpp"
+
+namespace amsyn::circuit {
+
+const Process& defaultProcess() {
+  static const Process p{};
+  return p;
+}
+
+}  // namespace amsyn::circuit

@@ -1,0 +1,110 @@
+#include "core/assemble.hpp"
+
+#include <algorithm>
+
+namespace amsyn::core {
+
+AssembleResult assembleSystem(const std::vector<layout::Block>& blocks,
+                              const std::vector<SystemSignal>& signals,
+                              const std::map<std::string, SystemBlockPower>& power,
+                              const circuit::Process& proc, const AssembleOptions& opts) {
+  AssembleResult result;
+
+  // --- block nets for the floorplanner's wirelength term ---
+  std::vector<layout::BlockNet> blockNets;
+  for (const auto& s : signals) blockNets.push_back({s.name, s.blocks});
+
+  // --- WRIGHT floorplan ---
+  layout::FloorplanOptions fpOpts = opts.floorplan;
+  fpOpts.seed = opts.seed;
+  result.floorplan = layout::wrightFloorplan(blocks, blockNets, fpOpts);
+
+  // --- channel graph + WREN global routing ---
+  result.channelGraph = layout::channelGraphFromFloorplan(result.floorplan);
+  std::vector<layout::GlobalNet> gnets;
+  for (const auto& s : signals) {
+    layout::GlobalNet gn;
+    gn.name = s.name;
+    gn.wireClass = s.wireClass;
+    gn.noiseBudget = s.noiseBudget;
+    for (const auto& b : s.blocks)
+      gn.terminals.push_back(result.floorplan.block(b).rect.center());
+    gnets.push_back(std::move(gn));
+  }
+  result.globalRouting = layout::wrenGlobalRoute(result.channelGraph, gnets, opts.global);
+
+  result.allSignalsRouted = true;
+  for (const auto& [net, ok] : result.globalRouting.routed)
+    if (!ok) result.allSignalsRouted = false;
+  result.allSnrBudgetsMet = true;
+  for (const auto& [net, ok] : result.globalRouting.snrMet)
+    if (!ok) result.allSnrBudgetsMet = false;
+
+  // --- detailed channel routing with the mapper's directives ---
+  // Build per-channel pin problems from the nets crossing each edge.
+  std::map<std::size_t, std::vector<layout::ChannelPin>> pinsOf;
+  std::map<std::size_t, std::vector<layout::ChannelNetSpec>> specsOf;
+  for (const auto& s : signals) {
+    auto it = result.globalRouting.routeOf.find(s.name);
+    if (it == result.globalRouting.routeOf.end()) continue;
+    int col = 0;
+    for (std::size_t e : it->second) {
+      // The net enters and leaves every channel it crosses: two pins, with
+      // positions spread by net index to create a realistic pin problem.
+      pinsOf[e].push_back({s.name, col, true});
+      pinsOf[e].push_back({s.name, col + 3, false});
+      specsOf[e].push_back({s.name, s.wireClass, 1});
+      col += 2;
+    }
+  }
+  std::map<std::size_t, layout::ChannelOptions> chanOpts;
+  for (const auto& d : result.globalRouting.directives) {
+    auto& co = chanOpts[d.edge];
+    co.classSeparationTracks = std::max(co.classSeparationTracks,
+                                        1 + d.extraSeparationTracks);
+    co.insertShields = co.insertShields || d.shield;
+  }
+  for (const auto& [edge, pins] : pinsOf) {
+    layout::ChannelOptions co;
+    if (auto it = chanOpts.find(edge); it != chanOpts.end()) co = it->second;
+    result.channels[edge] = layout::routeChannel(pins, specsOf[edge], co);
+  }
+
+  // --- RAIL power grid over the floorplan ---
+  power::PowerGridSpec spec;
+  spec.chip = result.floorplan.chipBox;
+  spec.rows = opts.powerGridRows;
+  spec.cols = opts.powerGridCols;
+  spec.vdd = proc.vdd;
+  spec.pads = {{{spec.chip.x0, spec.chip.y0}, 0.5, 5e-9},
+               {{spec.chip.x1, spec.chip.y1}, 0.5, 5e-9}};
+  for (const auto& b : blocks) {
+    SystemBlockPower bp;
+    if (auto it = power.find(b.name); it != power.end()) bp = it->second;
+    power::BlockLoad load;
+    load.name = b.name;
+    load.rect = result.floorplan.block(b.name).rect;
+    load.avgCurrent = bp.avgCurrent;
+    load.peakCurrent = bp.peakCurrent;
+    load.decouplingCap = bp.decouplingCap;
+    load.analog = b.isAnalog();
+    spec.loads.push_back(std::move(load));
+  }
+  power::PowerGrid grid(spec, proc);
+  power::applyUniformWidth(grid, opts.initialGridWidth);
+  result.powerBefore = grid.analyze();
+  const auto rail = power::synthesizePowerGrid(grid, opts.railConstraints, proc, opts.rail);
+  result.powerAfter = rail.final;
+  result.powerConstraintsMet = rail.constraintsMet;
+
+  bool channelsOk = true;
+  for (const auto& [edge, cr] : result.channels) {
+    (void)edge;
+    if (!cr.routable) channelsOk = false;
+  }
+  result.success = result.floorplan.overlapFree && result.allSignalsRouted &&
+                   result.allSnrBudgetsMet && channelsOk && result.powerConstraintsMet;
+  return result;
+}
+
+}  // namespace amsyn::core

@@ -1,0 +1,67 @@
+// Mixed-signal system assembly (section 3.2; the ACACIA-style top-to-bottom
+// prototypes of refs [63],[64]): floorplan the functional blocks with the
+// substrate-aware annealer, derive the channel graph, globally route the
+// block-level signals under SNR constraints, detail-route each channel with
+// the mapper's separation/shield directives, and synthesize the power grid
+// with RAIL — one call from block list to assembled chip.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layout/system/channel.hpp"
+#include "layout/system/floorplan.hpp"
+#include "layout/system/wren.hpp"
+#include "power/rail.hpp"
+
+namespace amsyn::core {
+
+struct SystemSignal {
+  std::string name;
+  layout::WireClass wireClass = layout::WireClass::Quiet;
+  std::vector<std::string> blocks;  ///< connected block names
+  double noiseBudget = 0.0;         ///< SNR budget for sensitive signals
+};
+
+struct SystemBlockPower {
+  double avgCurrent = 5e-3;
+  double peakCurrent = 0.0;      ///< > 0 marks a switching (digital) block
+  double decouplingCap = 150e-12;
+};
+
+struct AssembleOptions {
+  layout::FloorplanOptions floorplan;
+  layout::WrenOptions global;
+  power::RailConstraints railConstraints;
+  power::RailOptions rail;
+  int powerGridRows = 6;
+  int powerGridCols = 6;
+  double initialGridWidth = 2e-6;
+  std::uint64_t seed = 1;
+};
+
+struct AssembleResult {
+  layout::Floorplan floorplan;
+  layout::ChannelGraph channelGraph;
+  layout::WrenResult globalRouting;
+  /// Detailed channel results for every channel the global router used,
+  /// honoring the constraint mapper's directives.
+  std::map<std::size_t, layout::ChannelResult> channels;
+  power::GridAnalysis powerBefore;
+  power::GridAnalysis powerAfter;
+  bool powerConstraintsMet = false;
+  bool allSignalsRouted = false;
+  bool allSnrBudgetsMet = false;
+  bool success = false;
+};
+
+/// Assemble a mixed-signal system.  `power` supplies per-block electrical
+/// load data (blocks without an entry get SystemBlockPower defaults).
+AssembleResult assembleSystem(const std::vector<layout::Block>& blocks,
+                              const std::vector<SystemSignal>& signals,
+                              const std::map<std::string, SystemBlockPower>& power,
+                              const circuit::Process& proc,
+                              const AssembleOptions& opts = {});
+
+}  // namespace amsyn::core

@@ -1,0 +1,53 @@
+// The macrocell cell-layout flow of section 3.1, end to end: matching-
+// constraint generation [47] -> device stacking [43,45] -> module generation
+// -> KOAN-style placement [35] -> ANAGRAM-style routing [35] -> parasitic
+// extraction -> back-annotation.  One call turns a sized transistor netlist
+// into a laid-out, extracted cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "extract/extract.hpp"
+#include "extract/matchgen.hpp"
+#include "layout/cell/place.hpp"
+#include "layout/cell/route.hpp"
+
+namespace amsyn::core {
+
+struct CellLayoutOptions {
+  bool useStacking = true;        ///< merge diffusions before placement
+  bool annealPlacement = true;    ///< false = deterministic row ("manual-style")
+  layout::PlacerOptions placer;
+  layout::RouterOptions router;
+  /// Wire classes per net (others default to Quiet).
+  std::vector<layout::RouteNet> netOverrides;
+  /// Nets never routed (testbench artifacts: feedback RC, stimulus).
+  std::vector<std::string> skipNets;
+  std::uint64_t seed = 1;
+};
+
+struct CellLayoutResult {
+  geom::Layout layout;
+  layout::Placement placement;
+  layout::RouteResult routing;
+  extract::ExtractionResult parasitics;
+  circuit::Netlist annotated;    ///< original netlist + extracted parasitics
+  std::vector<extract::MatchConstraint> matching;
+  double areaLambda2 = 0.0;      ///< bounding-box area in lambda^2
+  double wirelengthLambda = 0.0;
+  std::size_t stackedDevices = 0;  ///< devices absorbed into merged stacks
+  bool success = false;
+  /// True when the annealed placement proved unroutable and the flow fell
+  /// back to the deterministic row placement.
+  bool usedRowFallback = false;
+};
+
+/// Lay out the MOS/R/C devices of `net`.  Testbench elements (sources,
+/// controlled sources, huge feedback RCs) are skipped automatically; only
+/// physical devices get geometry.
+CellLayoutResult layoutCell(const circuit::Netlist& net, const circuit::Process& proc,
+                            const CellLayoutOptions& opts = {});
+
+}  // namespace amsyn::core

@@ -1,0 +1,65 @@
+// The hierarchical performance-driven design methodology of section 2.1 —
+// the loop "most experimental analog CAD systems" run:
+//
+//   top-down:   topology selection -> specification translation (sizing)
+//               -> design verification (simulation)
+//   bottom-up:  layout generation -> detailed verification after extraction
+//
+// with redesign iterations when verification fails at any point, including
+// the still-open problem the paper flags in section 3.1: "closing the loop"
+// from cell layout back to circuit synthesis.  Here the close is concrete:
+// post-layout failures tighten the electrical specs handed to the sizer
+// (margin inflation) and the whole flow re-runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/celllayout.hpp"
+#include "sizing/spec.hpp"
+#include "sizing/synth.hpp"
+#include "topology/library.hpp"
+
+namespace amsyn::core {
+
+struct FlowOptions {
+  double loadCap = 5e-12;
+  std::size_t maxRedesigns = 4;   ///< layout->synthesis loop closures
+  double marginInflation = 1.30;  ///< spec tightening per redesign
+  sizing::SynthesisOptions synthesis;
+  CellLayoutOptions layout;
+  std::uint64_t seed = 1;
+};
+
+/// Record of one verification: measured performances vs the spec verdict.
+struct VerificationRecord {
+  std::string stage;  ///< "pre-layout" or "post-layout"
+  sizing::Performance measured;
+  bool passed = false;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::string topology;
+  std::vector<double> designPoint;
+  circuit::Netlist schematic;           ///< sized testbench netlist
+  CellLayoutResult cell;                ///< layout + extraction
+  std::vector<VerificationRecord> verifications;
+  std::size_t redesigns = 0;
+  std::string failureReason;
+};
+
+/// Run the complete amplifier flow: select a topology from the built-in
+/// library, size it, verify by simulation, lay it out, extract, verify
+/// post-layout, and iterate with tightened specs if the parasitics broke a
+/// spec.  Specs use the standard performance names (gain_db, ugf, pm,
+/// power, ...).
+FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Process& proc,
+                               const FlowOptions& opts = {});
+
+/// Measure an amplifier testbench netlist by simulation (shared by the flow
+/// and the benches): gain_db, ugf, pm, power.
+sizing::Performance measureAmplifier(const circuit::Netlist& net,
+                                     const circuit::Process& proc);
+
+}  // namespace amsyn::core

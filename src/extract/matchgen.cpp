@@ -1,0 +1,80 @@
+#include "extract/matchgen.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace amsyn::extract {
+
+using circuit::Device;
+using circuit::DeviceType;
+
+namespace {
+bool sameGeometry(const Device& a, const Device& b) {
+  const double wa = a.mos.w * a.mos.m, wb = b.mos.w * b.mos.m;
+  return a.mos.type == b.mos.type && std::abs(wa - wb) <= 0.01 * std::max(wa, wb) &&
+         std::abs(a.mos.l - b.mos.l) <= 0.01 * std::max(a.mos.l, b.mos.l);
+}
+}  // namespace
+
+std::vector<MatchConstraint> generateMatchingConstraints(const circuit::Netlist& net) {
+  std::vector<MatchConstraint> out;
+  std::vector<const Device*> mos;
+  for (const auto& d : net.devices())
+    if (d.type == DeviceType::Mos) mos.push_back(&d);
+
+  auto nodeName = [&](circuit::NodeId n) { return net.nodeName(n); };
+  std::set<std::string> inPair, inMirror;
+
+  // Differential pairs: shared source, equal geometry, distinct gates,
+  // distinct drains.
+  for (std::size_t i = 0; i < mos.size(); ++i) {
+    for (std::size_t j = i + 1; j < mos.size(); ++j) {
+      const Device& a = *mos[i];
+      const Device& b = *mos[j];
+      if (inPair.count(a.name) || inPair.count(b.name)) continue;
+      if (!sameGeometry(a, b)) continue;
+      if (a.nodes[2] != b.nodes[2]) continue;        // source shared
+      if (a.nodes[1] == b.nodes[1]) continue;        // gates must differ
+      if (a.nodes[0] == b.nodes[0]) continue;        // drains must differ
+      // The shared source must not be a supply rail (that would be a
+      // mirror-ish structure, not a pair).
+      const std::string src = nodeName(a.nodes[2]);
+      if (src == "0" || src == "gnd" || src == "vdd") continue;
+      MatchConstraint c;
+      c.kind = MatchKind::DifferentialPair;
+      c.deviceA = a.name;
+      c.deviceB = b.name;
+      c.symmetricNets.emplace_back(nodeName(a.nodes[1]), nodeName(b.nodes[1]));
+      c.symmetricNets.emplace_back(nodeName(a.nodes[0]), nodeName(b.nodes[0]));
+      out.push_back(std::move(c));
+      inPair.insert(a.name);
+      inPair.insert(b.name);
+    }
+  }
+
+  // Current mirrors: shared gate + shared source, one device diode-
+  // connected (gate tied to its own drain).
+  for (std::size_t i = 0; i < mos.size(); ++i) {
+    for (std::size_t j = 0; j < mos.size(); ++j) {
+      if (i == j) continue;
+      const Device& diode = *mos[i];
+      const Device& mirror = *mos[j];
+      if (inMirror.count(diode.name) || inMirror.count(mirror.name)) continue;
+      if (diode.mos.type != mirror.mos.type) continue;
+      if (diode.nodes[1] != diode.nodes[0]) continue;   // diode-connected
+      if (mirror.nodes[1] != diode.nodes[1]) continue;  // gates shared
+      if (mirror.nodes[2] != diode.nodes[2]) continue;  // sources shared
+      if (mirror.nodes[0] == diode.nodes[0]) continue;  // distinct outputs
+      MatchConstraint c;
+      c.kind = MatchKind::CurrentMirror;
+      c.deviceA = diode.name;
+      c.deviceB = mirror.name;
+      out.push_back(std::move(c));
+      inMirror.insert(diode.name);
+      inMirror.insert(mirror.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace amsyn::extract

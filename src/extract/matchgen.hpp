@@ -1,0 +1,35 @@
+// Automatic generation of symmetry / matching constraints from the device
+// schematic (Charbon, Malavasi & Sangiovanni-Vincentelli, ICCAD 1993 — the
+// paper's ref [47]): recognize differential pairs and current mirrors
+// structurally so the placer and router receive their symmetric-pair and
+// matched-device constraints without designer annotation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace amsyn::extract {
+
+enum class MatchKind : std::uint8_t {
+  DifferentialPair,  ///< shared source, equal geometry, distinct gates
+  CurrentMirror,     ///< shared gate + shared source, one diode-connected
+  MatchedPair,       ///< equal geometry, same type (weaker constraint)
+};
+
+struct MatchConstraint {
+  MatchKind kind = MatchKind::MatchedPair;
+  std::string deviceA;
+  std::string deviceB;
+  /// Symmetric nets implied by the pair (e.g. the two gate nets of a
+  /// differential pair must be routed symmetrically).
+  std::vector<std::pair<std::string, std::string>> symmetricNets;
+};
+
+/// Scan the netlist for matching structures.  Differential pairs are
+/// reported before mirrors; each device appears in at most one constraint of
+/// each kind.
+std::vector<MatchConstraint> generateMatchingConstraints(const circuit::Netlist& net);
+
+}  // namespace amsyn::extract

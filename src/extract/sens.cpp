@@ -1,0 +1,49 @@
+#include "extract/sens.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amsyn::extract {
+
+Sensitivity capacitanceSensitivity(const circuit::Netlist& net, const MeasureFn& measure,
+                                   const std::vector<std::string>& netNames,
+                                   double deltaCap) {
+  Sensitivity out;
+  out.nominal = measure(net);
+  std::size_t idx = 0;
+  for (const auto& name : netNames) {
+    circuit::Netlist perturbed = net;
+    if (!perturbed.findNode(name))
+      throw std::invalid_argument("capacitanceSensitivity: unknown net " + name);
+    perturbed.addCapacitor("CSENS" + std::to_string(idx++), name, "0", deltaCap);
+    const double v = measure(perturbed);
+    out.dPerfDCap[name] = (v - out.nominal) / deltaCap;
+  }
+  return out;
+}
+
+std::map<std::string, double> mapParasiticBounds(const Sensitivity& sens,
+                                                 double allowedDelta, double floorCap) {
+  if (allowedDelta <= 0.0)
+    throw std::invalid_argument("mapParasiticBounds: allowedDelta must be positive");
+  // Allocation proportional to 1/|S_i|: each net may consume an equal share
+  // of the degradation budget, which translates to more farads where the
+  // circuit does not care.
+  double sumInv = 0.0;
+  for (const auto& [net, s] : sens.dPerfDCap) {
+    (void)net;
+    sumInv += 1.0;  // equal budget shares; farads follow from |S|
+  }
+  if (sumInv == 0.0) return {};
+  const double sharePerNet = allowedDelta / sumInv;
+
+  std::map<std::string, double> bounds;
+  for (const auto& [net, s] : sens.dPerfDCap) {
+    const double mag = std::abs(s);
+    const double cap = mag > 1e-30 ? sharePerNet / mag : 1.0;  // insensitive: huge bound
+    bounds[net] = std::max(cap, floorCap);
+  }
+  return bounds;
+}
+
+}  // namespace amsyn::extract

@@ -1,0 +1,42 @@
+// Layout-to-performance sensitivity analysis and constraint mapping — the
+// "critical glue" of section 3.1 (Choudhury & Sangiovanni-Vincentelli [46]):
+// quantify how each net's parasitic capacitance degrades circuit
+// performance, then convert an allowed total degradation into per-net
+// parasitic *bounds* that performance-driven layout tools (ROAD-mode
+// routing, sensitivity-driven placement [42]) can obey.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+
+namespace amsyn::extract {
+
+/// A performance measure evaluated on a netlist (e.g. "AC gain at 1 kHz").
+using MeasureFn = std::function<double(const circuit::Netlist&)>;
+
+struct Sensitivity {
+  std::map<std::string, double> dPerfDCap;  ///< per net, units: perf per farad
+  double nominal = 0.0;                     ///< measure at zero added parasitics
+};
+
+/// Finite-difference sensitivity of `measure` with respect to ground
+/// capacitance added on each listed net.
+Sensitivity capacitanceSensitivity(const circuit::Netlist& net, const MeasureFn& measure,
+                                   const std::vector<std::string>& netNames,
+                                   double deltaCap = 50e-15);
+
+/// Constraint mapping [46]: distribute an allowed performance degradation
+/// `allowedDelta` (same units as the measure, positive magnitude) over the
+/// nets, inversely weighted by |sensitivity| — insensitive nets get loose
+/// bounds (routing freedom), critical nets get tight ones.  Returns per-net
+/// capacitance bounds (F), each at least `floorCap`.
+std::map<std::string, double> mapParasiticBounds(const Sensitivity& sens,
+                                                 double allowedDelta,
+                                                 double floorCap = 2e-15);
+
+}  // namespace amsyn::extract

@@ -1,0 +1,33 @@
+// Concrete design plans for the amplifier library — the hand-derived sizing
+// procedures an IDAC/OASYS developer would encode (here: the classic
+// Allen & Holberg two-stage procedure and its OTA counterpart).
+//
+// Plan inputs (context keys):
+//   spec.gain_db, spec.ugf, spec.pm, spec.slew, spec.cload
+//   optional: spec.power_max
+// Plan outputs: out.i5, out.i7, out.vov1, out.vov3, out.vov5, out.vov6,
+// out.cc (two-stage) — the same coordinates as TwoStageEquationModel, so a
+// plan result can be evaluated, simulated and laid out like any optimizer
+// result.
+#pragma once
+
+#include <vector>
+
+#include "knowledge/plan.hpp"
+
+namespace amsyn::knowledge {
+
+/// Two-stage Miller opamp plan with gain/power backtracking knobs.
+DesignPlan twoStageOpampPlan();
+
+/// Five-transistor OTA plan (outputs out.i5, out.vov1, out.vov3, out.vov5).
+DesignPlan otaPlan();
+
+/// Pull the two-stage design vector (TwoStageEquationModel variable order)
+/// out of a completed plan context.
+std::vector<double> extractTwoStageDesign(const PlanContext& ctx);
+
+/// Pull the OTA design vector (OtaEquationModel variable order).
+std::vector<double> extractOtaDesign(const PlanContext& ctx);
+
+}  // namespace amsyn::knowledge

@@ -1,0 +1,164 @@
+#include "knowledge/pulse_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amsyn::knowledge {
+
+namespace {
+constexpr double kQ = 1.602176634e-19;
+
+/// Shaper/CSA timing shares the translation step hands down: the CSA gets
+/// ~30% of the shaping span, the stage lag ~10% per stage.
+constexpr double kCsaShare = 0.30;
+constexpr double kStageShare = 0.10;
+}  // namespace
+
+DesignPlan csaPlan(const sizing::PulseDetectorConfig& cfg) {
+  DesignPlan plan("charge-sensitive-amplifier");
+  plan.input("csa.tau_budget").input("csa.noise_budget_e").input("out.cf");
+  plan.knob("vov_csa", 0.20, 0.10, 0.50);
+  plan.knob("csaSpeed", 1.2, 1.0, 10.0);
+
+  plan.step("input transconductance from charge-transfer budget",
+            [cfg](PlanContext& ctx) {
+              // tau_csa = Cdet * Cload / (gm1 * Cf): invert for gm1, with a
+              // speed factor the noise check can crank.
+              const double gm1 = cfg.detectorCap * cfg.csaLoadCap /
+                                 (ctx.get("csa.tau_budget") * ctx.get("out.cf")) *
+                                 ctx.get("csaSpeed");
+              ctx.set("csa.gm1", gm1);
+              ctx.set("out.vov_csa", ctx.get("vov_csa"));
+              ctx.set("out.i_csa", gm1 * ctx.get("vov_csa") / 2.0);
+              return StepResult::success();
+            });
+
+  plan.step("equivalent-noise-charge check", [cfg](PlanContext& ctx) {
+    const auto& proc = ctx.process();
+    const double l = 1e-6;
+    const double gm1 = ctx.get("csa.gm1");
+    const double iCsa = ctx.get("out.i_csa");
+    const double vov = ctx.get("out.vov_csa");
+    const double w1 =
+        std::max(proc.minW, 2.0 * iCsa * l / (proc.kpN * vov * vov));
+    const double cin = cfg.detectorCap + (2.0 / 3.0) * proc.cox * w1 * l;
+    const double tShape = ctx.get("shaper.span");  // n*tau from the parent
+    const double series2 =
+        0.9 * cin * cin * (4.0 * proc.kT() * (2.0 / 3.0) / gm1) / tShape;
+    const double par2 = 0.6 * 2.0 * kQ * cfg.leakageCurrent * tShape;
+    const double flick2 = 2.0 * (proc.kfN / (proc.cox * w1 * l)) * cin * cin;
+    const double enc = std::sqrt(series2 + par2 + flick2) / kQ;
+    ctx.set("csa.enc", enc);
+    if (enc > ctx.get("csa.noise_budget_e"))
+      return StepResult::retry("ENC " + std::to_string(enc) + " e- over budget",
+                               "csaSpeed", 1.4);
+    return StepResult::success(std::to_string(enc) + " rms e-");
+  });
+
+  return plan;
+}
+
+DesignPlan shaperPlan(const sizing::PulseDetectorConfig& cfg) {
+  DesignPlan plan("pulse-shaper");
+  plan.input("out.tau").input("spec.range_v");
+
+  plan.step("stage overdrive from output range", [](PlanContext& ctx) {
+    const double vdd = ctx.process().vdd;
+    // range = vdd/2 - 3 vov; leave 10% margin on the spec.
+    const double vov =
+        std::clamp((vdd / 2.0 - 1.1 * ctx.get("spec.range_v")) / 3.0, 0.10, 0.50);
+    ctx.set("out.vov_stage", vov);
+    const double achieved = vdd / 2.0 - 3.0 * vov;
+    if (achieved < ctx.get("spec.range_v"))
+      return StepResult::failure("range unreachable at minimum overdrive");
+    return StepResult::success();
+  });
+
+  plan.step("stage bias from bandwidth", [cfg](PlanContext& ctx) {
+    // Stage lag budget: kStageShare of the shaping constant.
+    const double tauStage = kStageShare * ctx.get("out.tau");
+    const double gmSt = cfg.shaperStageGain * cfg.stageLoadCap / tauStage;
+    ctx.set("out.i_stage", gmSt * ctx.get("out.vov_stage") / 2.0);
+    return StepResult::success();
+  });
+
+  return plan;
+}
+
+DesignPlan pulseDetectorPlan(const sizing::PulseDetectorConfig& cfg) {
+  DesignPlan plan("pulse-detector-frontend");
+  plan.input("spec.peaking_us")
+      .input("spec.counting_khz")
+      .input("spec.noise_e")
+      .input("spec.gain_v_fc")
+      .input("spec.range_v")
+      .knob("timingMargin", 1.10, 1.02, 2.5)
+      .knob("vov_csa", 0.20, 0.10, 0.50)
+      .knob("csaSpeed", 1.2, 1.0, 10.0);
+
+  // --- specification translation (section 2.1's top-down step) ---
+  plan.step("conversion gain -> feedback capacitor", [cfg](PlanContext& ctx) {
+    const double n = static_cast<double>(cfg.shaperStages);
+    const double peak = std::pow(n, n) * std::exp(-n) / std::tgamma(n + 1.0);
+    const double shaperGain = std::pow(cfg.shaperStageGain, n);
+    // Aim 5% above the minimum gain to sit inside a [spec, ~1.15 spec] box.
+    const double cf = 1e-15 * shaperGain * peak / (1.05 * ctx.get("spec.gain_v_fc"));
+    if (cf < 0.5e-15) return StepResult::failure("feedback cap below manufacturable floor");
+    ctx.set("out.cf", cf);
+    return StepResult::success();
+  });
+
+  plan.step("timing translation", [cfg](PlanContext& ctx) {
+    const double n = static_cast<double>(cfg.shaperStages);
+    const double margin = ctx.get("timingMargin");
+    // tp ~= n*tau (1 + kStageShare) + kCsaShare n*tau; occupancy ~= 4.9 n*tau
+    // (1 + kStageShare) + 2 kCsaShare n*tau.
+    const double tpMax = ctx.get("spec.peaking_us") * 1e-6 / margin;
+    const double occMax = 1.0 / (ctx.get("spec.counting_khz") * 1e3) / margin;
+    const double tpCoeff = 1.0 + kStageShare + kCsaShare;
+    const double occCoeff = 4.9 * (1.0 + kStageShare) + 2.0 * kCsaShare;
+    const double span = std::min(tpMax / tpCoeff, occMax / occCoeff);  // n*tau
+    if (span <= 0) return StepResult::failure("timing budget impossible");
+    ctx.set("shaper.span", span);
+    ctx.set("out.tau", span / n);
+    ctx.set("csa.tau_budget", kCsaShare * span);
+    // Noise budget handed to the CSA: 95% of the spec (integration slack).
+    ctx.set("csa.noise_budget_e", 0.95 * ctx.get("spec.noise_e"));
+    return StepResult::success();
+  });
+
+  // --- sub-blocks (OASYS hierarchy: sub-plans share the context) ---
+  plan.subplan(shaperPlan(cfg));
+  plan.subplan(csaPlan(cfg));
+
+  // --- bottom-line verification against the shared equation model ---
+  plan.step("verify against performance model", [cfg](PlanContext& ctx) {
+    const sizing::PulseDetectorModel model(ctx.process(), cfg);
+    const auto x = extractPulseDetectorDesign(ctx);
+    const auto perf = model.evaluate(x);
+    ctx.set("perf.peaking_us", perf.at("peaking_us"));
+    ctx.set("perf.counting_khz", perf.at("counting_khz"));
+    ctx.set("perf.noise_e", perf.at("noise_e"));
+    ctx.set("perf.gain_v_fc", perf.at("gain_v_fc"));
+    ctx.set("perf.range_v", perf.at("range_v"));
+    ctx.set("perf.power", perf.at("power"));
+    if (perf.at("peaking_us") > ctx.get("spec.peaking_us"))
+      return StepResult::retry("peaking over spec", "timingMargin", 1.15);
+    if (perf.at("counting_khz") < ctx.get("spec.counting_khz"))
+      return StepResult::retry("counting rate under spec", "timingMargin", 1.15);
+    if (perf.at("noise_e") > ctx.get("spec.noise_e"))
+      return StepResult::retry("noise over spec", "csaSpeed", 1.4);
+    if (perf.at("range_v") < ctx.get("spec.range_v"))
+      return StepResult::failure("range check failed post-verification");
+    return StepResult::success();
+  });
+
+  return plan;
+}
+
+std::vector<double> extractPulseDetectorDesign(const PlanContext& ctx) {
+  return {ctx.get("out.i_csa"),  ctx.get("out.vov_csa"), ctx.get("out.cf"),
+          ctx.get("out.tau"),    ctx.get("out.i_stage"), ctx.get("out.vov_stage")};
+}
+
+}  // namespace amsyn::knowledge

@@ -1,0 +1,37 @@
+// Hierarchical design plan for the Table-1 pulse-detector frontend — the
+// OASYS mechanism [1] on the AMGIE workload [16]: the top-level plan
+// *translates* the frontend specification into sub-block specifications
+// (exactly the "specification translation" step of section 2.1), then
+// invokes the charge-sensitive-amplifier and pulse-shaper sub-plans, which
+// size their own devices.  Knobs allow the classic backtracking when a
+// sub-block cannot meet its translated budget.
+//
+// Inputs (context keys):
+//   spec.peaking_us, spec.counting_khz, spec.noise_e, spec.gain_v_fc,
+//   spec.range_v
+// Outputs: out.i_csa, out.vov_csa, out.cf, out.tau, out.i_stage,
+//   out.vov_stage — the PulseDetectorModel variable order.
+#pragma once
+
+#include <vector>
+
+#include "knowledge/plan.hpp"
+#include "sizing/pulse.hpp"
+
+namespace amsyn::knowledge {
+
+/// Sub-plan: size the charge-sensitive amplifier against its translated
+/// budgets (context keys csa.tau_budget, csa.noise_budget_e, csa.cf).
+DesignPlan csaPlan(const sizing::PulseDetectorConfig& cfg = {});
+
+/// Sub-plan: size the 4-stage semi-Gaussian shaper against its budgets
+/// (context keys shaper.tau, spec.range_v).
+DesignPlan shaperPlan(const sizing::PulseDetectorConfig& cfg = {});
+
+/// Top-level hierarchical plan: specification translation + both sub-plans.
+DesignPlan pulseDetectorPlan(const sizing::PulseDetectorConfig& cfg = {});
+
+/// Extract the PulseDetectorModel design vector from a completed context.
+std::vector<double> extractPulseDetectorDesign(const PlanContext& ctx);
+
+}  // namespace amsyn::knowledge

@@ -1,0 +1,447 @@
+#include "layout/cell/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace amsyn::layout {
+
+using geom::CellInstance;
+using geom::CellMaster;
+using geom::Coord;
+using geom::Orientation;
+using geom::Rect;
+using geom::Transform;
+
+double estimateWirelengthWeighted(const std::vector<CellInstance>& instances,
+                                  const std::map<std::string, double>& netWeights) {
+  std::map<std::string, Rect> netBox;
+  for (const auto& inst : instances) {
+    for (const auto& pin : inst.transformedPins()) {
+      if (pin.name.empty()) continue;
+      auto [it, inserted] = netBox.try_emplace(pin.name, pin.rect);
+      if (!inserted) it->second = it->second.unionWith(pin.rect);
+    }
+  }
+  double total = 0.0;
+  for (const auto& [net, box] : netBox) {
+    double w = 1.0;
+    if (auto it = netWeights.find(net); it != netWeights.end()) w = it->second;
+    total += w * static_cast<double>(box.halfPerimeter());
+  }
+  return total;
+}
+
+double estimateWirelength(const std::vector<CellInstance>& instances) {
+  return estimateWirelengthWeighted(instances, {});
+}
+
+bool hasOverlaps(const std::vector<CellInstance>& instances, Coord spacing) {
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Rect a = instances[i].boundingBox().inflated(spacing / 2);
+    for (std::size_t j = i + 1; j < instances.size(); ++j) {
+      if (a.overlaps(instances[j].boundingBox().inflated(spacing / 2))) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+double overlapArea(const std::vector<CellInstance>& instances, Coord spacing) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Rect a = instances[i].boundingBox().inflated(spacing / 2);
+    for (std::size_t j = i + 1; j < instances.size(); ++j) {
+      const Rect o = a.intersect(instances[j].boundingBox().inflated(spacing / 2));
+      total += static_cast<double>(o.area());
+    }
+  }
+  return total;
+}
+
+/// The mirrored counterpart of an orientation about a vertical axis.
+Orientation mirrored(Orientation o) {
+  switch (o) {
+    case Orientation::R0: return Orientation::MX;
+    case Orientation::MX: return Orientation::R0;
+    case Orientation::R180: return Orientation::MY;
+    case Orientation::MY: return Orientation::R180;
+    case Orientation::R90: return Orientation::MX90;
+    case Orientation::MX90: return Orientation::R90;
+    case Orientation::R270: return Orientation::MY90;
+    case Orientation::MY90: return Orientation::R270;
+  }
+  return Orientation::MX;
+}
+
+struct PlacerState {
+  const std::vector<PlacementComponent>* components;
+  PlacerOptions opts;
+  std::vector<std::size_t> variant;
+  std::vector<Transform> xform;
+  std::vector<std::ptrdiff_t> peer;  // index of symmetry partner or -1
+
+  std::vector<CellInstance> instances() const {
+    std::vector<CellInstance> out;
+    out.reserve(components->size());
+    for (std::size_t i = 0; i < components->size(); ++i) {
+      out.push_back(CellInstance{(*components)[i].name,
+                                 &(*components)[i].variants[variant[i]], xform[i]});
+    }
+    return out;
+  }
+
+  double symmetryError(const std::vector<CellInstance>& inst) const {
+    // Axis: average pair midline; error: deviation from common axis +
+    // vertical misalignment + orientation mismatch.
+    double axisSum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < peer.size(); ++i) {
+      if (peer[i] < 0 || static_cast<std::size_t>(peer[i]) < i) continue;
+      const auto ca = inst[i].boundingBox().center();
+      const auto cb = inst[static_cast<std::size_t>(peer[i])].boundingBox().center();
+      axisSum += 0.5 * static_cast<double>(ca.x + cb.x);
+      ++pairs;
+    }
+    if (pairs == 0) return 0.0;
+    const double axis = axisSum / static_cast<double>(pairs);
+    double err = 0.0;
+    for (std::size_t i = 0; i < peer.size(); ++i) {
+      if (peer[i] < 0 || static_cast<std::size_t>(peer[i]) < i) continue;
+      const std::size_t j = static_cast<std::size_t>(peer[i]);
+      const auto ca = inst[i].boundingBox().center();
+      const auto cb = inst[j].boundingBox().center();
+      err += std::abs(static_cast<double>(ca.x + cb.x) / 2.0 - axis);
+      err += std::abs(static_cast<double>(ca.y - cb.y));
+      if (xform[j].orient != mirrored(xform[i].orient)) err += 50.0;
+    }
+    return err;
+  }
+
+  double cost(double overlapScale) const {
+    const auto inst = instances();
+    Rect bb;
+    for (const auto& c : inst) bb = bb.unionWith(c.boundingBox());
+    const double area = static_cast<double>(bb.area());
+    const double wl = estimateWirelengthWeighted(inst, opts.netWeights);
+    const double ov = overlapArea(inst, opts.spacing);
+    const double sym = symmetryError(inst);
+    return opts.areaWeight * area + opts.wireWeight * wl * 10.0 +
+           opts.overlapWeight * overlapScale * ov + opts.symmetryWeight * sym * 20.0;
+  }
+};
+
+Coord snap(Coord v, Coord grid) { return (v / grid) * grid; }
+
+}  // namespace
+
+Placement rowPlacement(const std::vector<PlacementComponent>& components,
+                       const PlacerOptions& opts) {
+  // Order: symmetric pairs adjacent, then the rest in declaration order.
+  std::vector<std::size_t> order;
+  std::set<std::size_t> done;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (done.count(i)) continue;
+    order.push_back(i);
+    done.insert(i);
+    if (components[i].symmetryPeer) {
+      for (std::size_t j = 0; j < components.size(); ++j)
+        if (!done.count(j) && components[j].name == *components[i].symmetryPeer) {
+          order.push_back(j);
+          done.insert(j);
+        }
+    }
+  }
+
+  Placement result;
+  Coord x = 0;
+  std::vector<CellInstance> inst;
+  for (std::size_t idx : order) {
+    const auto& master = components[idx].variants.front();
+    const Rect bb = master.boundingBox();
+    Transform t;
+    t.orient = Orientation::R0;
+    t.dx = x - bb.x0;
+    t.dy = -bb.y0;
+    inst.push_back(CellInstance{components[idx].name, &master, t});
+    result.variantChosen[components[idx].name] = 0;
+    x += bb.width() + opts.spacing;
+  }
+  // Restore declaration order in the result for stable consumption.
+  std::vector<CellInstance> ordered(components.size());
+  for (std::size_t k = 0; k < order.size(); ++k) ordered[order[k]] = inst[k];
+  result.instances = std::move(ordered);
+
+  Rect bb;
+  for (const auto& c : result.instances) bb = bb.unionWith(c.boundingBox());
+  result.boundingBox = bb;
+  result.wirelength = estimateWirelength(result.instances);
+  result.overlapFree = !hasOverlaps(result.instances, opts.spacing);
+  return result;
+}
+
+Placement compactPlacement(
+    const Placement& placement, Coord spacing,
+    const std::vector<std::pair<std::string, std::string>>& symmetricPairs) {
+  Placement out = placement;
+  auto& inst = out.instances;
+
+  // Group index per instance: symmetric pairs share a group.
+  std::vector<std::size_t> group(inst.size());
+  std::iota(group.begin(), group.end(), std::size_t{0});
+  for (const auto& [a, b] : symmetricPairs) {
+    std::size_t ia = inst.size(), ib = inst.size();
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      if (inst[i].name == a) ia = i;
+      if (inst[i].name == b) ib = i;
+    }
+    if (ia < inst.size() && ib < inst.size()) group[ib] = group[ia];
+  }
+
+  // Process in x order; each instance computes the furthest-left legal x,
+  // and a group moves by the min displacement among its members.
+  std::vector<std::size_t> order(inst.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst[a].boundingBox().x0 < inst[b].boundingBox().x0;
+  });
+
+  Coord baseline = std::numeric_limits<Coord>::max();
+  for (const auto& c : inst) baseline = std::min(baseline, c.boundingBox().x0);
+
+  std::vector<bool> done(inst.size(), false);
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const std::size_t i = order[oi];
+    if (done[i]) continue;
+    // Members of i's group (in x order they may appear later; move jointly).
+    std::vector<std::size_t> members;
+    for (std::size_t j = 0; j < inst.size(); ++j)
+      if (group[j] == group[i]) members.push_back(j);
+
+    Coord shift = std::numeric_limits<Coord>::max();
+    for (std::size_t m : members) {
+      const Rect rm = inst[m].boundingBox();
+      Coord limit = baseline;  // furthest left this member may reach
+      for (std::size_t j = 0; j < inst.size(); ++j) {
+        if (done[j] == false || group[j] == group[i]) continue;
+        const Rect rj = inst[j].boundingBox();
+        const bool yOverlap = rj.y0 < rm.y1 + spacing && rm.y0 < rj.y1 + spacing;
+        if (yOverlap) limit = std::max(limit, rj.x1 + spacing);
+      }
+      shift = std::min(shift, rm.x0 - limit);
+    }
+    if (shift == std::numeric_limits<Coord>::max()) shift = 0;
+    shift = std::max<Coord>(shift, 0);
+    for (std::size_t m : members) {
+      inst[m].placement.dx -= shift;
+      done[m] = true;
+    }
+  }
+
+  Rect bb;
+  for (const auto& c : inst) bb = bb.unionWith(c.boundingBox());
+  out.boundingBox = bb;
+  out.wirelength = estimateWirelength(inst);
+  out.overlapFree = !hasOverlaps(inst, spacing);
+  return out;
+}
+
+Placement placeCells(const std::vector<PlacementComponent>& components,
+                     const PlacerOptions& opts) {
+  if (components.empty()) throw std::invalid_argument("placeCells: nothing to place");
+  for (const auto& c : components)
+    if (c.variants.empty())
+      throw std::invalid_argument("placeCells: component " + c.name + " has no variants");
+
+  PlacerState st;
+  st.components = &components;
+  st.opts = opts;
+  st.variant.assign(components.size(), 0);
+  st.peer.assign(components.size(), -1);
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (!components[i].symmetryPeer) continue;
+    for (std::size_t j = 0; j < components.size(); ++j)
+      if (components[j].name == *components[i].symmetryPeer) st.peer[i] = j;
+  }
+
+  // Start from the deterministic row placement (legal, finite cost).
+  const Placement seed = rowPlacement(components, opts);
+  st.xform.resize(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i)
+    st.xform[i] = seed.instances[i].placement;
+
+  double overlapScale = 1.0;
+  PlacerState prev = st;
+  PlacerState best = st;
+  double spread = 1.0;  // move range multiplier, shrinks over time
+  std::size_t movesDone = 0;
+
+  num::AnnealProblem prob;
+  prob.cost = [&] { return st.cost(overlapScale); };
+  prob.propose = [&](num::Rng& rng) {
+    prev.variant = st.variant;
+    prev.xform = st.xform;
+    const std::size_t i = rng.index(components.size());
+    const int kind = rng.integer(0, 7);
+    const Coord range = std::max<Coord>(
+        opts.gridStep, static_cast<Coord>(static_cast<double>(seed.boundingBox.width()) *
+                                          0.25 * spread));
+    switch (kind) {
+      case 0:
+      case 1: {  // translate (most common)
+        st.xform[i].dx = snap(st.xform[i].dx + static_cast<Coord>(rng.integer(
+                                                   -static_cast<int>(range),
+                                                   static_cast<int>(range))),
+                              opts.gridStep);
+        st.xform[i].dy = snap(st.xform[i].dy + static_cast<Coord>(rng.integer(
+                                                   -static_cast<int>(range),
+                                                   static_cast<int>(range))),
+                              opts.gridStep);
+        break;
+      }
+      case 2: {  // reorient
+        st.xform[i].orient = geom::kAllOrientations[rng.index(8)];
+        break;
+      }
+      case 3: {  // swap positions with another component
+        const std::size_t j = rng.index(components.size());
+        std::swap(st.xform[i].dx, st.xform[j].dx);
+        std::swap(st.xform[i].dy, st.xform[j].dy);
+        break;
+      }
+      case 4: {  // refold: switch variant
+        st.variant[i] = rng.index(components[i].variants.size());
+        break;
+      }
+      case 6:
+      case 7: {  // abut: snap component i to a random side of component j
+        if (components.size() < 2) break;
+        std::size_t j = rng.index(components.size());
+        while (j == i) j = rng.index(components.size());
+        const CellInstance a{components[i].name, &components[i].variants[st.variant[i]],
+                             st.xform[i]};
+        const CellInstance b{components[j].name, &components[j].variants[st.variant[j]],
+                             st.xform[j]};
+        const Rect ra = a.boundingBox();
+        const Rect rb = b.boundingBox();
+        Coord dx = 0, dy = 0;
+        switch (rng.integer(0, 3)) {
+          case 0:  // right of j
+            dx = rb.x1 + opts.spacing - ra.x0;
+            dy = rb.y0 - ra.y0;
+            break;
+          case 1:  // left of j
+            dx = rb.x0 - opts.spacing - ra.x1;
+            dy = rb.y0 - ra.y0;
+            break;
+          case 2:  // above j
+            dx = rb.x0 - ra.x0;
+            dy = rb.y1 + opts.spacing - ra.y0;
+            break;
+          default:  // below j
+            dx = rb.x0 - ra.x0;
+            dy = rb.y0 - opts.spacing - ra.y1;
+            break;
+        }
+        st.xform[i].dx = snap(st.xform[i].dx + dx, opts.gridStep);
+        st.xform[i].dy = snap(st.xform[i].dy + dy, opts.gridStep);
+        break;
+      }
+      case 5: {  // symmetry snap: mirror the peer into place
+        if (st.peer[i] >= 0) {
+          const std::size_t j = static_cast<std::size_t>(st.peer[i]);
+          CellInstance a{components[i].name, &components[i].variants[st.variant[i]],
+                         st.xform[i]};
+          const Rect abb = a.boundingBox();
+          // Mirror about the current overall bbox center.
+          Rect bb;
+          for (const auto& inst : st.instances()) bb = bb.unionWith(inst.boundingBox());
+          const Coord axis = bb.center().x;
+          const Rect target = geom::mirrorX(abb, axis);
+          st.variant[j] = st.variant[i];
+          st.xform[j].orient = mirrored(st.xform[i].orient);
+          // Position the peer so its bbox lands on the mirrored rect.
+          CellInstance b{components[j].name, &components[j].variants[st.variant[j]],
+                         Transform{st.xform[j].orient, 0, 0}};
+          const Rect bbb = b.boundingBox();
+          st.xform[j].dx = target.x0 - bbb.x0;
+          st.xform[j].dy = target.y0 - bbb.y0;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (++movesDone % 256 == 0) {
+      spread = std::max(0.05, spread * 0.92);
+      overlapScale = std::min(64.0, overlapScale * 1.15);
+    }
+  };
+  prob.undo = [&] {
+    st.variant = prev.variant;
+    st.xform = prev.xform;
+  };
+  prob.snapshot = [&] { best = st; };
+
+  num::AnnealOptions aopts = opts.anneal;
+  aopts.seed = opts.seed;
+  aopts.problemSizeHint = std::max<std::size_t>(components.size(), 8);
+  const auto stats = num::anneal(prob, aopts);
+
+  // Legalize the best solution if overlaps survived: push instances apart
+  // along x in left-to-right order.
+  auto inst = best.instances();
+  std::vector<std::size_t> order(inst.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst[a].boundingBox().x0 < inst[b].boundingBox().x0;
+  });
+  bool moved = true;
+  std::size_t guard = 0;
+  while (moved && guard++ < 64) {
+    moved = false;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      for (std::size_t oj = oi + 1; oj < order.size(); ++oj) {
+        const std::size_t i = order[oi], j = order[oj];
+        const Rect a = inst[i].boundingBox().inflated(opts.spacing / 2);
+        const Rect b = inst[j].boundingBox().inflated(opts.spacing / 2);
+        if (!a.overlaps(b)) continue;
+        const Coord push = a.x1 - b.x0 + opts.gridStep;
+        best.xform[j].dx += push;
+        inst[j].placement.dx += push;
+        moved = true;
+      }
+    }
+  }
+
+  Placement result;
+  result.instances = best.instances();
+  for (std::size_t i = 0; i < components.size(); ++i)
+    result.variantChosen[components[i].name] = best.variant[i];
+  Rect bb;
+  for (const auto& c : result.instances) bb = bb.unionWith(c.boundingBox());
+  result.boundingBox = bb;
+  result.wirelength = estimateWirelength(result.instances);
+  result.overlapFree = !hasOverlaps(result.instances, opts.spacing);
+  result.symmetryError = best.symmetryError(result.instances);
+  result.stats = stats;
+
+  // Best-of guarantee: post-legalization inflation can leave the annealed
+  // result worse than the trivial row; never return worse than the seed.
+  auto score = [&](const Placement& p) {
+    return opts.areaWeight * static_cast<double>(p.boundingBox.area()) +
+           opts.wireWeight * p.wirelength * 10.0 +
+           (p.overlapFree ? 0.0 : 1e18);
+  };
+  if (score(seed) < score(result)) {
+    Placement fallback = seed;
+    fallback.stats = stats;
+    return fallback;
+  }
+  return result;
+}
+
+}  // namespace amsyn::layout

@@ -1,0 +1,422 @@
+#include "layout/cell/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <tuple>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace amsyn::layout {
+
+using geom::CellInstance;
+using geom::Coord;
+using geom::Layer;
+using geom::Rect;
+using geom::Shape;
+
+namespace {
+
+constexpr int kLayers = 3;  // 0 = poly, 1 = metal1, 2 = metal2
+constexpr int kFree = -1;
+constexpr int kBlocked = -2;
+
+Layer layerOf(int l) {
+  switch (l) {
+    case 0: return Layer::Poly;
+    case 1: return Layer::Metal1;
+    default: return Layer::Metal2;
+  }
+}
+
+int indexOf(Layer l) {
+  switch (l) {
+    case Layer::Poly: return 0;
+    case Layer::Metal1: return 1;
+    case Layer::Metal2: return 2;
+    default: return -1;
+  }
+}
+
+struct Node {
+  int layer = 0, x = 0, y = 0;
+  friend bool operator==(const Node&, const Node&) = default;
+  friend bool operator<(const Node& a, const Node& b) {
+    return std::tie(a.layer, a.x, a.y) < std::tie(b.layer, b.x, b.y);
+  }
+};
+
+class Grid {
+ public:
+  Grid(Rect area, Coord pitch) : area_(area), pitch_(pitch) {
+    nx_ = static_cast<int>(area.width() / pitch) + 1;
+    ny_ = static_cast<int>(area.height() / pitch) + 1;
+    owner_.assign(static_cast<std::size_t>(kLayers) * nx_ * ny_, kFree);
+    overDevice_.assign(static_cast<std::size_t>(nx_) * ny_, 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  bool inBounds(const Node& n) const {
+    return n.layer >= 0 && n.layer < kLayers && n.x >= 0 && n.x < nx_ && n.y >= 0 &&
+           n.y < ny_;
+  }
+  geom::Point world(const Node& n) const {
+    return {area_.x0 + static_cast<Coord>(n.x) * pitch_,
+            area_.y0 + static_cast<Coord>(n.y) * pitch_};
+  }
+  Node nearest(int layer, geom::Point p) const {
+    const int x = static_cast<int>((p.x - area_.x0 + pitch_ / 2) / pitch_);
+    const int y = static_cast<int>((p.y - area_.y0 + pitch_ / 2) / pitch_);
+    return {layer, std::clamp(x, 0, nx_ - 1), std::clamp(y, 0, ny_ - 1)};
+  }
+
+  int& owner(const Node& n) {
+    return owner_[(static_cast<std::size_t>(n.layer) * nx_ + n.x) * ny_ + n.y];
+  }
+  int owner(const Node& n) const {
+    return owner_[(static_cast<std::size_t>(n.layer) * nx_ + n.x) * ny_ + n.y];
+  }
+  void setOverDevice(int x, int y) { overDevice_[static_cast<std::size_t>(x) * ny_ + y] = 1; }
+  bool overDevice(int x, int y) const {
+    return overDevice_[static_cast<std::size_t>(x) * ny_ + y] != 0;
+  }
+
+  /// Mark every node whose center lies inside `r` on grid layer `l`.
+  template <typename Fn>
+  void forNodesIn(int l, const Rect& r, Fn&& fn) {
+    const int x0 = std::max(0, static_cast<int>((r.x0 - area_.x0 + pitch_ - 1) / pitch_));
+    const int y0 = std::max(0, static_cast<int>((r.y0 - area_.y0 + pitch_ - 1) / pitch_));
+    const int x1 = std::min<int>(nx_ - 1, static_cast<int>((r.x1 - area_.x0) / pitch_));
+    const int y1 = std::min<int>(ny_ - 1, static_cast<int>((r.y1 - area_.y0) / pitch_));
+    for (int x = x0; x <= x1; ++x)
+      for (int y = y0; y <= y1; ++y) {
+        const geom::Point c = world({l, x, y});
+        if (r.contains(c)) fn(Node{l, x, y});
+      }
+  }
+
+ private:
+  Rect area_;
+  Coord pitch_;
+  int nx_ = 0, ny_ = 0;
+  std::vector<int> owner_;       // kFree / kBlocked / net index
+  std::vector<char> overDevice_;
+};
+
+}  // namespace
+
+RouteResult routeCells(const std::vector<CellInstance>& placed,
+                       const std::vector<RouteNet>& nets, const circuit::Process& proc,
+                       const RouterOptions& opts) {
+  RouteResult result;
+  result.layout.instances = placed;
+
+  Rect area;
+  for (const auto& inst : placed) area = area.unionWith(inst.boundingBox());
+  area = area.inflated(opts.margin);
+
+  // --- collect pins per net ---
+  std::map<std::string, std::vector<geom::Pin>> pinsOf;
+  for (const auto& inst : placed)
+    for (const auto& pin : inst.transformedPins()) pinsOf[pin.name].push_back(pin);
+
+  // Net indices and class lookup.
+  std::map<std::string, int> netIndex;
+  for (std::size_t i = 0; i < nets.size(); ++i) netIndex[nets[i].name] = static_cast<int>(i);
+  auto classOf = [&](int idx) { return nets[static_cast<std::size_t>(idx)].wireClass; };
+
+  const Coord axisX = area.center().x;  // symmetry axis for mirrored nets
+
+  // Routing passes with rip-up: failed nets get routed first next pass.
+  std::vector<std::size_t> order(nets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::map<std::string, std::vector<Node>> pathsOf;  // final paths per net
+  std::map<std::string, bool> symRealized;
+
+  for (std::size_t pass = 0; pass < opts.maxPasses; ++pass) {
+    pathsOf.clear();
+    symRealized.clear();
+    Grid grid(area, opts.pitch);
+
+    // --- block device geometry ---
+    for (const auto& inst : placed) {
+      for (const auto& shape : inst.transformedShapes()) {
+        const Rect grown = shape.rect.inflated(opts.wireWidth / 2 + 2);
+        switch (shape.layer) {
+          case Layer::Poly:
+          case Layer::NDiff:
+          case Layer::PDiff:
+            grid.forNodesIn(0, grown, [&](Node n) { grid.owner(n) = kBlocked; });
+            break;
+          case Layer::Metal1:
+          case Layer::Contact:
+            grid.forNodesIn(1, grown, [&](Node n) { grid.owner(n) = kBlocked; });
+            break;
+          case Layer::Metal2:
+          case Layer::Via:
+            grid.forNodesIn(2, grown, [&](Node n) { grid.owner(n) = kBlocked; });
+            break;
+          default:
+            break;
+        }
+      }
+      // Metal2 over the device body is allowed but penalized.
+      const Rect bb = inst.boundingBox();
+      grid.forNodesIn(2, bb, [&](Node n) { grid.setOverDevice(n.x, n.y); });
+    }
+
+    // --- register pin nodes (pins are legal entry points for their net) ---
+    std::map<std::string, std::vector<std::vector<Node>>> pinNodes;  // net -> pin -> nodes
+    for (const auto& rn : nets) {
+      auto pit = pinsOf.find(rn.name);
+      if (pit == pinsOf.end() || pit->second.size() < 2) continue;
+      auto& slots = pinNodes[rn.name];
+      for (const auto& pin : pit->second) {
+        std::vector<Node> nodes;
+        const int l = indexOf(pin.layer);
+        if (l < 0) continue;
+        grid.forNodesIn(l, pin.rect, [&](Node n) { nodes.push_back(n); });
+        if (nodes.empty()) nodes.push_back(grid.nearest(l, pin.rect.center()));
+        for (const Node& n : nodes) grid.owner(n) = netIndex[rn.name];
+        slots.push_back(std::move(nodes));
+      }
+    }
+
+    // --- maze-route one net ---
+    auto routeNet = [&](std::size_t netIdx) -> bool {
+      const RouteNet& rn = nets[netIdx];
+      auto it = pinNodes.find(rn.name);
+      if (it == pinNodes.end()) return true;  // nothing to do (single pin)
+      const auto& slots = it->second;
+      const int me = static_cast<int>(netIdx);
+
+      std::set<Node> connected(slots[0].begin(), slots[0].end());
+      std::vector<Node> allSegments;
+
+      for (std::size_t t = 1; t < slots.size(); ++t) {
+        // Dijkstra from the connected component to pin t's nodes.
+        std::set<Node> targets(slots[t].begin(), slots[t].end());
+        std::map<Node, int> dist;
+        std::map<Node, Node> parent;
+        using QE = std::pair<int, Node>;
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+        for (const Node& s : connected) {
+          dist[s] = 0;
+          pq.push({0, s});
+        }
+        std::optional<Node> found;
+        while (!pq.empty()) {
+          const auto [d, n] = pq.top();
+          pq.pop();
+          if (d != dist[n]) continue;
+          if (targets.count(n)) {
+            found = n;
+            break;
+          }
+          const Node nbrs[6] = {{n.layer, n.x + 1, n.y}, {n.layer, n.x - 1, n.y},
+                                {n.layer, n.x, n.y + 1}, {n.layer, n.x, n.y - 1},
+                                {n.layer + 1, n.x, n.y}, {n.layer - 1, n.x, n.y}};
+          for (const Node& m : nbrs) {
+            if (!grid.inBounds(m)) continue;
+            const int own = grid.owner(m);
+            if (own == kBlocked || (own >= 0 && own != me)) continue;
+            int step = (m.layer == n.layer) ? 2 : opts.viaCost;
+            if (m.layer == 0) step += opts.polyPenalty;
+            if (m.layer == 2 && grid.overDevice(m.x, m.y)) step += opts.overDevicePenalty;
+            // Crosstalk: entering a node whose planar neighbors carry an
+            // incompatible net.
+            const Node adj[4] = {{m.layer, m.x + 1, m.y}, {m.layer, m.x - 1, m.y},
+                                 {m.layer, m.x, m.y + 1}, {m.layer, m.x, m.y - 1}};
+            for (const Node& a : adj) {
+              if (!grid.inBounds(a)) continue;
+              const int other = grid.owner(a);
+              if (other >= 0 && other != me &&
+                  incompatible(classOf(other), rn.wireClass))
+                step += opts.crosstalkPenalty;
+            }
+            // ROAD mode: capacitance-bounded nets pay extra per unit length,
+            // biasing them toward short, low-parasitic paths.
+            if (rn.capBound > 0.0) step += 2;
+            const int nd = d + step;
+            auto dit = dist.find(m);
+            if (dit == dist.end() || nd < dit->second) {
+              dist[m] = nd;
+              parent[m] = n;
+              pq.push({nd, m});
+            }
+          }
+        }
+        if (!found) return false;
+        // Trace back and claim the path.
+        Node cur = *found;
+        while (!connected.count(cur)) {
+          connected.insert(cur);
+          allSegments.push_back(cur);
+          grid.owner(cur) = me;
+          auto pIt = parent.find(cur);
+          if (pIt == parent.end()) break;
+          cur = pIt->second;
+        }
+        for (const Node& n : slots[t]) connected.insert(n);
+      }
+      // Record the pin nodes too so geometry connects to the pads.
+      for (const auto& slot : slots)
+        for (const Node& n : slot) allSegments.push_back(n);
+      pathsOf[rn.name] = std::move(allSegments);
+      return true;
+    };
+
+    // Try mirroring a symmetric net from its already-routed peer.
+    auto mirrorNet = [&](std::size_t netIdx) -> bool {
+      const RouteNet& rn = nets[netIdx];
+      if (!rn.symmetricPeer) return false;
+      auto peerPath = pathsOf.find(*rn.symmetricPeer);
+      if (peerPath == pathsOf.end()) return false;
+      const int me = static_cast<int>(netIdx);
+
+      std::vector<Node> mirroredNodes;
+      for (const Node& n : peerPath->second) {
+        const geom::Point w = grid.world(n);
+        const geom::Point mw = geom::mirrorX(w, axisX);
+        const Node m = grid.nearest(n.layer, mw);
+        const int own = grid.owner(m);
+        if (own == kBlocked || (own >= 0 && own != me)) return false;
+        mirroredNodes.push_back(m);
+      }
+      for (const Node& m : mirroredNodes) grid.owner(m) = me;
+      // The mirrored cloud must touch all of this net's pins.
+      auto it = pinNodes.find(rn.name);
+      if (it != pinNodes.end()) {
+        std::set<Node> cloud(mirroredNodes.begin(), mirroredNodes.end());
+        for (const auto& slot : it->second) {
+          bool touched = false;
+          for (const Node& n : slot)
+            if (cloud.count(n)) touched = true;
+          if (!touched) {
+            for (const Node& m : mirroredNodes)
+              if (!cloud.count(m)) grid.owner(m) = kFree;
+            return false;
+          }
+        }
+      }
+      pathsOf[rn.name] = std::move(mirroredNodes);
+      return true;
+    };
+
+    std::vector<std::size_t> failed;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const std::size_t netIdx = order[oi];
+      const RouteNet& rn = nets[netIdx];
+      bool ok = false;
+      if (rn.symmetricPeer && mirrorNet(netIdx)) {
+        ok = true;
+        symRealized[rn.name] = true;
+      } else {
+        ok = routeNet(netIdx);
+        symRealized[rn.name] = false;
+      }
+      if (!ok) failed.push_back(netIdx);
+    }
+
+    if (failed.empty() || pass + 1 == opts.maxPasses) {
+      // --- emit geometry and reports from this pass ---
+      result.nets.clear();
+      result.layout.wires.clear();
+      double exposure = 0.0;
+
+      for (std::size_t i = 0; i < nets.size(); ++i) {
+        const RouteNet& rn = nets[i];
+        NetReport rep;
+        rep.routed = std::find(failed.begin(), failed.end(), i) == failed.end() &&
+                     pathsOf.count(rn.name);
+        rep.symmetricRealized = symRealized.count(rn.name) && symRealized[rn.name];
+        if (pathsOf.count(rn.name)) {
+          const auto& path = pathsOf[rn.name];
+          std::set<Node> cloud(path.begin(), path.end());
+          const Coord h = opts.wireWidth / 2;
+          for (const Node& n : cloud) {
+            const geom::Point w = grid.world(n);
+            // Pad at the node plus segments toward +x/+y cloud neighbors.
+            result.layout.wires.push_back(
+                Shape{layerOf(n.layer), {w.x - h, w.y - h, w.x + h, w.y + h}, rn.name});
+            if (cloud.count({n.layer, n.x + 1, n.y}))
+              result.layout.wires.push_back(
+                  Shape{layerOf(n.layer),
+                        {w.x - h, w.y - h, w.x + opts.pitch + h, w.y + h}, rn.name});
+            if (cloud.count({n.layer, n.x, n.y + 1}))
+              result.layout.wires.push_back(
+                  Shape{layerOf(n.layer),
+                        {w.x - h, w.y - h, w.x + h, w.y + opts.pitch + h}, rn.name});
+            // Vias: node present on the next layer up at the same (x, y).
+            if (cloud.count({n.layer + 1, n.x, n.y})) {
+              ++rep.vias;
+              result.layout.wires.push_back(
+                  Shape{n.layer == 0 ? Layer::Contact : Layer::Via,
+                        {w.x - h, w.y - h, w.x + h, w.y + h}, rn.name});
+            }
+          }
+          // Straps from each physical pin to its grid entry node (pins can
+          // sit off-grid; the nearest-node fallback needs a jumper).
+          if (auto pnIt = pinNodes.find(rn.name); pnIt != pinNodes.end()) {
+            const auto& physical = pinsOf[rn.name];
+            for (std::size_t pi = 0;
+                 pi < pnIt->second.size() && pi < physical.size(); ++pi) {
+              if (pnIt->second[pi].empty()) continue;
+              const Node n0 = pnIt->second[pi].front();
+              const geom::Point w = grid.world(n0);
+              const geom::Point pc = physical[pi].rect.center();
+              result.layout.wires.push_back(
+                  Shape{physical[pi].layer,
+                        {std::min(w.x, pc.x) - h, pc.y - h, std::max(w.x, pc.x) + h,
+                         pc.y + h},
+                        rn.name});
+              result.layout.wires.push_back(
+                  Shape{physical[pi].layer,
+                        {w.x - h, std::min(w.y, pc.y) - h, w.x + h,
+                         std::max(w.y, pc.y) + h},
+                        rn.name});
+            }
+          }
+          rep.lengthLambda =
+              static_cast<double>(cloud.size()) * static_cast<double>(opts.pitch) / 4.0;
+          // Ground-cap estimate: area + fringe of the drawn wire.
+          const double lenM = rep.lengthLambda * proc.lambda;
+          const double wM = static_cast<double>(opts.wireWidth) / 4.0 * proc.lambda;
+          rep.estimatedCap = lenM * wM * proc.caMetal1 + 2.0 * lenM * proc.cfMetal1;
+          rep.capBoundMet = rn.capBound <= 0.0 || rep.estimatedCap <= rn.capBound;
+          result.totalLengthLambda += rep.lengthLambda;
+
+          // Crosstalk exposure against previously-reported nets.
+          for (const Node& n : cloud) {
+            const Node adj[4] = {{n.layer, n.x + 1, n.y}, {n.layer, n.x - 1, n.y},
+                                 {n.layer, n.x, n.y + 1}, {n.layer, n.x, n.y - 1}};
+            for (const Node& a : adj) {
+              if (!grid.inBounds(a)) continue;
+              const int other = grid.owner(a);
+              if (other >= 0 && other != static_cast<int>(i) &&
+                  incompatible(classOf(other), rn.wireClass))
+                exposure += static_cast<double>(opts.pitch) / 4.0 / 2.0;  // half per side
+            }
+          }
+        }
+        result.nets[rn.name] = rep;
+      }
+      result.crosstalkExposureLambda = exposure;
+      result.allRouted = failed.empty();
+      return result;
+    }
+
+    // Re-order: failed nets first on the next pass.
+    std::vector<std::size_t> next = failed;
+    for (std::size_t i : order)
+      if (std::find(failed.begin(), failed.end(), i) == failed.end()) next.push_back(i);
+    order = std::move(next);
+  }
+  return result;  // unreachable: loop always returns on the last pass
+}
+
+}  // namespace amsyn::layout

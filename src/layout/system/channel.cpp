@@ -1,0 +1,188 @@
+#include "layout/system/channel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+namespace amsyn::layout {
+
+namespace {
+
+struct NetInfo {
+  std::string name;
+  WireClass cls = WireClass::Quiet;
+  int width = 1;
+  int colMin = 0, colMax = 0;
+  std::set<std::string> mustBeAbove;  // nets this net must be above
+};
+
+bool spansOverlap(int a0, int a1, int b0, int b1) { return a0 <= b1 && b0 <= a1; }
+
+}  // namespace
+
+ChannelResult routeChannel(const std::vector<ChannelPin>& pins,
+                           const std::vector<ChannelNetSpec>& specs,
+                           const ChannelOptions& opts) {
+  ChannelResult result;
+
+  // --- net intervals ---
+  std::map<std::string, NetInfo> nets;
+  for (const auto& p : pins) {
+    auto [it, inserted] = nets.try_emplace(p.net);
+    if (inserted) {
+      it->second.name = p.net;
+      it->second.colMin = it->second.colMax = p.column;
+    } else {
+      it->second.colMin = std::min(it->second.colMin, p.column);
+      it->second.colMax = std::max(it->second.colMax, p.column);
+    }
+  }
+  for (const auto& s : specs) {
+    auto it = nets.find(s.name);
+    if (it == nets.end()) continue;
+    it->second.cls = s.wireClass;
+    it->second.width = std::max(1, s.widthTracks);
+  }
+
+  // --- vertical constraint graph ---
+  std::map<int, std::string> topAt, botAt;
+  for (const auto& p : pins) (p.top ? topAt : botAt)[p.column] = p.net;
+  for (const auto& [col, tnet] : topAt) {
+    auto bit = botAt.find(col);
+    if (bit == botAt.end() || bit->second == tnet) continue;
+    nets[tnet].mustBeAbove.insert(bit->second);
+  }
+  // Cycle check (DFS with colors).
+  {
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::function<bool(const std::string&)> cyclic = [&](const std::string& n) {
+      color[n] = 1;
+      for (const auto& below : nets[n].mustBeAbove) {
+        if (color[below] == 1) return true;
+        if (color[below] == 0 && cyclic(below)) return true;
+      }
+      color[n] = 2;
+      return false;
+    };
+    for (const auto& [name, info] : nets) {
+      (void)info;
+      if (color[name] == 0 && cyclic(name)) {
+        result.routable = false;
+        return result;  // cyclic VCG: this dogleg-free router cannot route
+      }
+    }
+  }
+
+  // --- density lower bound ---
+  std::map<int, int> density;
+  for (const auto& [name, info] : nets) {
+    (void)name;
+    for (int c = info.colMin; c <= info.colMax; ++c) density[c] += info.width;
+  }
+  for (const auto& [c, d] : density) {
+    (void)c;
+    result.densityLowerBound = std::max(result.densityLowerBound, d);
+  }
+
+  // --- constrained left-edge, bottom-up ---
+  std::set<std::string> placed;
+  std::map<int, std::vector<std::pair<int, int>>> occupied;  // track -> spans
+  auto trackFree = [&](int track, int c0, int c1) {
+    auto it = occupied.find(track);
+    if (it == occupied.end()) return true;
+    for (const auto& [o0, o1] : it->second)
+      if (spansOverlap(c0, c1, o0, o1)) return false;
+    return true;
+  };
+
+  std::vector<const NetInfo*> order;
+  for (const auto& [name, info] : nets) {
+    (void)name;
+    order.push_back(&info);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const NetInfo* a, const NetInfo* b) { return a->colMin < b->colMin; });
+
+  int track = 0;
+  std::size_t guard = 0;
+  while (placed.size() < nets.size() && guard++ < 10 * nets.size() + 64) {
+    for (const NetInfo* n : order) {
+      if (placed.count(n->name)) continue;
+      // VCG: everything this net must be above is already placed.
+      bool ready = true;
+      for (const auto& below : n->mustBeAbove)
+        if (!placed.count(below)) ready = false;
+      if (!ready) continue;
+      // Track-span availability for the net's width.
+      bool free = true;
+      for (int t = track; t < track + n->width; ++t)
+        if (!trackFree(t, n->colMin, n->colMax)) free = false;
+      if (!free) continue;
+
+      // Class-separation check against the tracks below.
+      int conflictLo = 0, conflictHi = -1;
+      for (int t = track - opts.classSeparationTracks; t < track; ++t) {
+        for (const auto& asg : result.assignments) {
+          if (asg.net == "(shield)") continue;
+          if (asg.track + asg.widthTracks - 1 != t && asg.track != t) continue;
+          const auto cit = nets.find(asg.net);
+          if (cit == nets.end()) continue;
+          if (!incompatible(cit->second.cls, n->cls)) continue;
+          if (!spansOverlap(asg.colMin, asg.colMax, n->colMin, n->colMax)) continue;
+          // Is there a shield already between them?
+          bool shielded = false;
+          for (const auto& sh : result.assignments)
+            if (sh.net == "(shield)" && sh.track > t && sh.track < track + n->width &&
+                spansOverlap(sh.colMin, sh.colMax, n->colMin, n->colMax))
+              shielded = true;
+          if (shielded) continue;
+          conflictLo = std::max(asg.colMin, n->colMin);
+          conflictHi = std::min(asg.colMax, n->colMax);
+        }
+      }
+      if (conflictHi >= conflictLo && conflictHi >= 0) {
+        if (opts.insertShields && trackFree(track, conflictLo, conflictHi)) {
+          // Drop a grounded shield into this track over the conflict span;
+          // the net itself waits for the next track.
+          result.assignments.push_back(
+              ChannelAssignment{"(shield)", track, 1, conflictLo, conflictHi});
+          occupied[track].push_back({conflictLo, conflictHi});
+          ++result.shieldsInserted;
+        }
+        continue;  // separation: the net cannot enter this track
+      }
+
+      // Place the net.
+      result.assignments.push_back(
+          ChannelAssignment{n->name, track, n->width, n->colMin, n->colMax});
+      for (int t = track; t < track + n->width; ++t)
+        occupied[t].push_back({n->colMin, n->colMax});
+      placed.insert(n->name);
+    }
+    ++track;
+  }
+
+  result.routable = placed.size() == nets.size();
+  for (const auto& a : result.assignments)
+    result.height = std::max(result.height, a.track + a.widthTracks);
+
+  // --- crosstalk adjacency metric ---
+  for (const auto& a : result.assignments) {
+    if (a.net == "(shield)") continue;
+    for (const auto& b : result.assignments) {
+      if (b.net == "(shield)" || &a == &b) continue;
+      // b directly above a?
+      if (b.track != a.track + a.widthTracks) continue;
+      const auto ai = nets.find(a.net), bi = nets.find(b.net);
+      if (ai == nets.end() || bi == nets.end()) continue;
+      if (!incompatible(ai->second.cls, bi->second.cls)) continue;
+      const int lo = std::max(a.colMin, b.colMin);
+      const int hi = std::min(a.colMax, b.colMax);
+      if (hi >= lo) result.crosstalkAdjacency += hi - lo + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace amsyn::layout

@@ -1,0 +1,82 @@
+#include "layout/system/segregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amsyn::layout {
+
+namespace {
+
+bool channelAllows(WireClass channel, WireClass net) {
+  if (net == WireClass::Quiet) return true;
+  return channel == net;
+}
+
+}  // namespace
+
+SegregatedAssignment segregateChannels(const std::vector<SegregatedNet>& nets,
+                                       const SegregateOptions& opts) {
+  if (opts.channelCount < 2)
+    throw std::invalid_argument("segregateChannels: need at least 2 channels");
+  SegregatedAssignment out;
+  std::map<int, int> load;
+
+  for (int c = 0; c < opts.channelCount; ++c) {
+    const bool evenIsDigital = opts.evenChannelsDigital;
+    const bool digital = (c % 2 == 0) == evenIsDigital;
+    out.channelType[c] = digital ? WireClass::Noisy : WireClass::Sensitive;
+  }
+
+  // Assign the constrained classes first, then quiet nets into the slack.
+  std::vector<const SegregatedNet*> order;
+  for (const auto& n : nets)
+    if (n.wireClass != WireClass::Quiet) order.push_back(&n);
+  for (const auto& n : nets)
+    if (n.wireClass == WireClass::Quiet) order.push_back(&n);
+
+  out.valid = true;
+  for (const SegregatedNet* n : order) {
+    int best = -1, bestCost = std::numeric_limits<int>::max();
+    for (int c = 0; c < opts.channelCount; ++c) {
+      if (!channelAllows(out.channelType[c], n->wireClass)) continue;
+      if (load[c] >= opts.maxLoadPerChannel) continue;
+      const int cost = std::abs(c - n->preferredChannel);
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = c;
+      }
+    }
+    if (best < 0) {
+      out.valid = false;  // capacity exhausted for this class
+      continue;
+    }
+    out.channelOf[n->name] = best;
+    ++load[best];
+    out.totalDetour += bestCost;
+  }
+  for (const auto& [c, l] : load) {
+    (void)l;
+    out.channelsUsed = std::max(out.channelsUsed, c + 1);
+  }
+  return out;
+}
+
+bool segregationHolds(const SegregatedAssignment& assignment,
+                      const std::vector<SegregatedNet>& nets) {
+  std::map<int, std::pair<bool, bool>> seen;  // channel -> (noisy, sensitive)
+  for (const auto& n : nets) {
+    auto it = assignment.channelOf.find(n.name);
+    if (it == assignment.channelOf.end()) continue;
+    auto& [noisy, sensitive] = seen[it->second];
+    if (n.wireClass == WireClass::Noisy) noisy = true;
+    if (n.wireClass == WireClass::Sensitive) sensitive = true;
+  }
+  for (const auto& [c, flags] : seen) {
+    (void)c;
+    if (flags.first && flags.second) return false;
+  }
+  return true;
+}
+
+}  // namespace amsyn::layout

@@ -1,0 +1,53 @@
+// Segregated wiring channels (Kimble et al., CICC 1985 — the paper's ref
+// [53]): in a row-based mixed-signal layout, alternate the wiring channels
+// between "digital" and "analog" and constrain noisy and sensitive signals
+// never to share a channel.  The paper calls this "an early elegant solution
+// to the coupling problem ... [that] remains a practical solution when the
+// size of the layout is not too large."
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layout/cell/route.hpp"  // WireClass
+
+namespace amsyn::layout {
+
+struct SegregatedNet {
+  std::string name;
+  WireClass wireClass = WireClass::Quiet;
+  /// Channel index the net would ideally use (nearest its row span).
+  int preferredChannel = 0;
+};
+
+struct SegregatedAssignment {
+  /// Net -> assigned channel index.
+  std::map<std::string, int> channelOf;
+  /// Channel index -> type it was dedicated to this run.
+  std::map<int, WireClass> channelType;
+  int channelsUsed = 0;
+  /// Total |assigned - preferred| detour over all nets.
+  int totalDetour = 0;
+  bool valid = false;  ///< no noisy/sensitive pair shares a channel
+};
+
+struct SegregateOptions {
+  int channelCount = 8;
+  /// Parity convention: even channels host noisy (digital) wiring, odd
+  /// channels host sensitive (analog) wiring.  Quiet nets may use either.
+  bool evenChannelsDigital = true;
+  int maxLoadPerChannel = 12;  ///< capacity before spilling to the next
+};
+
+/// Assign every net to the nearest legal channel.  Returns valid = false
+/// only when capacity makes legal assignment impossible.
+SegregatedAssignment segregateChannels(const std::vector<SegregatedNet>& nets,
+                                       const SegregateOptions& opts = {});
+
+/// Verify the invariant directly: no channel carries both a Noisy and a
+/// Sensitive net.
+bool segregationHolds(const SegregatedAssignment& assignment,
+                      const std::vector<SegregatedNet>& nets);
+
+}  // namespace amsyn::layout

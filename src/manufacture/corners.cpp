@@ -1,0 +1,203 @@
+#include "manufacture/corners.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "numeric/optimize.hpp"
+
+namespace amsyn::manufacture {
+
+using sizing::Spec;
+using sizing::SpecKind;
+
+circuit::Process VariationSpace::apply(const circuit::Process& nominal,
+                                       const std::vector<double>& c) const {
+  if (c.size() != kDims) throw std::invalid_argument("VariationSpace::apply: dimension");
+  auto u = [&](std::size_t i) { return std::clamp(c[i], 0.0, 1.0); };
+  circuit::Process p = nominal;
+  p.vdd = nominal.vdd * (1.0 - vddRel + 2.0 * vddRel * u(0));
+  p.temperature = tempMin + (tempMax - tempMin) * u(1);
+  p.kpN = nominal.kpN * (1.0 - kpRel + 2.0 * kpRel * u(2));
+  p.kpP = nominal.kpP * (1.0 - kpRel + 2.0 * kpRel * u(3));
+  p.vt0N = nominal.vt0N + (-vtAbs + 2.0 * vtAbs * u(4));
+  p.vt0P = nominal.vt0P + (-vtAbs + 2.0 * vtAbs * u(5));
+  // First-order temperature dependence: mobility degrades ~T^-1.5, Vt drifts
+  // ~-2 mV/K relative to 300 K.
+  const double tRatio = p.temperature / 300.15;
+  p.kpN *= std::pow(tRatio, -1.5);
+  p.kpP *= std::pow(tRatio, -1.5);
+  p.vt0N -= 2e-3 * (p.temperature - 300.15);
+  p.vt0P += 2e-3 * (p.temperature - 300.15);
+  return p;
+}
+
+namespace {
+
+/// Signed normalized margin of a spec at a performance value (negative =
+/// violated).  Objectives have no margin (+inf).
+double signedMargin(const Spec& spec, const sizing::Performance& perf) {
+  if (spec.isObjective()) return std::numeric_limits<double>::infinity();
+  auto it = perf.find(spec.performance);
+  if (it == perf.end()) return -1.0;
+  switch (spec.kind) {
+    case SpecKind::GreaterEqual:
+      return (it->second - spec.bound) / spec.normalization();
+    case SpecKind::LessEqual:
+      return (spec.bound - it->second) / spec.normalization();
+    default:
+      return std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace
+
+WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process& nominal,
+                            const VariationSpace& space, const std::vector<double>& x,
+                            const Spec& spec) {
+  auto marginAt = [&](const std::vector<double>& c) {
+    const circuit::Process p = space.apply(nominal, c);
+    const auto model = factory(p);
+    return signedMargin(spec, model->evaluate(x));
+  };
+
+  // Stage 1: enumerate the 2^6 box vertices (worst cases of quasi-monotone
+  // circuit responses live at vertices).
+  WorstCorner worst;
+  worst.margin = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << VariationSpace::kDims); ++mask) {
+    std::vector<double> c(VariationSpace::kDims);
+    for (std::size_t i = 0; i < VariationSpace::kDims; ++i)
+      c[i] = (mask >> i) & 1u ? 1.0 : 0.0;
+    const double m = marginAt(c);
+    if (m < worst.margin) {
+      worst.margin = m;
+      worst.corner = std::move(c);
+    }
+  }
+
+  // Stage 2: local refinement — interior worst cases (non-monotone
+  // responses like phase margin) are caught here.
+  num::BoxBounds box{std::vector<double>(VariationSpace::kDims, 0.0),
+                     std::vector<double>(VariationSpace::kDims, 1.0)};
+  num::CoordinateSearchOptions cs;
+  cs.maxSweeps = 20;
+  cs.initialStep = 0.25;
+  const auto refined = num::coordinateSearch(marginAt, worst.corner, box, cs);
+  if (refined.value < worst.margin) {
+    worst.margin = refined.value;
+    worst.corner = refined.x;
+  }
+
+  const circuit::Process p = space.apply(nominal, worst.corner);
+  const auto perf = factory(p)->evaluate(x);
+  if (auto it = perf.find(spec.performance); it != perf.end()) worst.value = it->second;
+  return worst;
+}
+
+namespace {
+
+/// Model whose evaluation is the worst case over an explicit corner set:
+/// constraint-relevant performances take their most pessimistic value across
+/// corners, objectives their nominal value.
+class CornerSetModel : public sizing::PerformanceModel {
+ public:
+  CornerSetModel(const ModelFactory& factory, const circuit::Process& nominal,
+                 const VariationSpace& space, const sizing::SpecSet& specs,
+                 const std::vector<std::vector<double>>& corners)
+      : specs_(specs) {
+    models_.push_back(factory(nominal));  // corner 0 = nominal
+    processes_.push_back(nominal);
+    for (const auto& c : corners) {
+      processes_.push_back(space.apply(nominal, c));
+      models_.push_back(factory(processes_.back()));
+    }
+  }
+
+  const std::vector<sizing::DesignVariable>& variables() const override {
+    return models_.front()->variables();
+  }
+
+  sizing::Performance evaluate(const std::vector<double>& x) const override {
+    sizing::Performance agg = models_.front()->evaluate(x);
+    for (std::size_t k = 1; k < models_.size(); ++k) {
+      const auto perf = models_[k]->evaluate(x);
+      for (const auto& spec : specs_.specs()) {
+        if (spec.isObjective()) continue;
+        auto it = perf.find(spec.performance);
+        if (it == perf.end()) continue;
+        auto& cur = agg[spec.performance];
+        cur = spec.kind == SpecKind::GreaterEqual ? std::min(cur, it->second)
+                                                  : std::max(cur, it->second);
+      }
+      if (perf.count("_infeasible")) agg["_infeasible"] = 1.0;
+    }
+    return agg;
+  }
+
+  std::size_t cornerCount() const { return models_.size() - 1; }
+
+ private:
+  sizing::SpecSet specs_;
+  std::vector<circuit::Process> processes_;
+  std::vector<std::unique_ptr<sizing::PerformanceModel>> models_;
+};
+
+}  // namespace
+
+RobustResult robustSynthesize(const ModelFactory& factory, const circuit::Process& nominal,
+                              const VariationSpace& space, const sizing::SpecSet& specs,
+                              const RobustOptions& opts) {
+  RobustResult result;
+
+  // Reference run: nominal-only synthesis.
+  {
+    const auto nominalModel = factory(nominal);
+    const sizing::CostFunction cost(*nominalModel, specs, opts.cost);
+    result.nominal = sizing::synthesize(cost, opts.synthesis);
+    result.nominalEvaluations = static_cast<double>(result.nominal.evaluations);
+  }
+
+  // Cutting-plane loop.
+  std::vector<std::vector<double>> corners;
+  sizing::SynthesisResult current = result.nominal;
+  double robustEvals = result.nominalEvaluations;
+
+  for (std::size_t round = 0; round < opts.maxRounds; ++round) {
+    ++result.rounds;
+    // Hunt a worst corner per constraint spec at the current design.
+    bool addedCorner = false;
+    for (const auto& spec : specs.specs()) {
+      if (spec.isObjective()) continue;
+      const auto wc = worstCaseCorner(factory, nominal, space, current.x, spec);
+      robustEvals += 64 + 80;  // vertex enumeration + refinement budget
+      if (wc.margin < 0.0) {
+        corners.push_back(wc.corner);
+        addedCorner = true;
+      }
+    }
+    if (!addedCorner) break;  // design already robust
+
+    CornerSetModel cornerModel(factory, nominal, space, specs, corners);
+    const sizing::CostFunction cost(cornerModel, specs, opts.cost);
+    current = sizing::synthesize(cost, opts.synthesis);
+    // Each corner-set evaluation simulates (1 + #corners) models.
+    robustEvals +=
+        static_cast<double>(current.evaluations) * static_cast<double>(1 + corners.size());
+  }
+
+  // Final verdict: check every spec's worst corner at the final design.
+  result.robustFeasibleAtCorners = current.feasible;
+  for (const auto& spec : specs.specs()) {
+    if (spec.isObjective()) continue;
+    const auto wc = worstCaseCorner(factory, nominal, space, current.x, spec);
+    robustEvals += 64 + 80;
+    if (wc.margin < -1e-3) result.robustFeasibleAtCorners = false;
+  }
+
+  result.robust = current;
+  result.activeCorners = corners.size();
+  result.robustEvaluations = robustEvals;
+  return result;
+}
+
+}  // namespace amsyn::manufacture

@@ -1,0 +1,88 @@
+// Interval arithmetic for the boundary-checking topology-selection strategy
+// (Veselinovic et al., ED&TC 1995 — the paper's ref [15]).  A topology's
+// achievable performance range is evaluated with design variables replaced by
+// their allowed intervals; a specification that falls outside the resulting
+// interval proves the topology infeasible without any sizing run.
+//
+// Header-only: every operation is a handful of min/max expressions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace amsyn::num {
+
+/// Closed interval [lo, hi] with outward-directed arithmetic.
+class Interval {
+ public:
+  constexpr Interval() : lo_(0.0), hi_(0.0) {}
+  constexpr Interval(double point) : lo_(point), hi_(point) {}  // NOLINT: implicit by design
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) throw std::invalid_argument("Interval: lo > hi");
+  }
+
+  constexpr double lo() const { return lo_; }
+  constexpr double hi() const { return hi_; }
+  constexpr double width() const { return hi_ - lo_; }
+  constexpr double mid() const { return 0.5 * (lo_ + hi_); }
+  constexpr bool contains(double x) const { return lo_ <= x && x <= hi_; }
+  constexpr bool contains(const Interval& o) const { return lo_ <= o.lo_ && o.hi_ <= hi_; }
+  constexpr bool intersects(const Interval& o) const { return lo_ <= o.hi_ && o.lo_ <= hi_; }
+
+  friend Interval operator+(const Interval& a, const Interval& b) {
+    return {a.lo_ + b.lo_, a.hi_ + b.hi_};
+  }
+  friend Interval operator-(const Interval& a, const Interval& b) {
+    return {a.lo_ - b.hi_, a.hi_ - b.lo_};
+  }
+  friend Interval operator-(const Interval& a) { return {-a.hi_, -a.lo_}; }
+  friend Interval operator*(const Interval& a, const Interval& b) {
+    const double p1 = a.lo_ * b.lo_, p2 = a.lo_ * b.hi_;
+    const double p3 = a.hi_ * b.lo_, p4 = a.hi_ * b.hi_;
+    return {std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4})};
+  }
+  friend Interval operator/(const Interval& a, const Interval& b) {
+    if (b.contains(0.0)) throw std::domain_error("Interval division by interval containing 0");
+    return a * Interval{1.0 / b.hi_, 1.0 / b.lo_};
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+inline Interval sqrt(const Interval& a) {
+  if (a.lo() < 0.0) throw std::domain_error("Interval sqrt of negative");
+  return {std::sqrt(a.lo()), std::sqrt(a.hi())};
+}
+
+inline Interval exp(const Interval& a) { return {std::exp(a.lo()), std::exp(a.hi())}; }
+
+inline Interval log(const Interval& a) {
+  if (a.lo() <= 0.0) throw std::domain_error("Interval log of non-positive");
+  return {std::log(a.lo()), std::log(a.hi())};
+}
+
+/// x^n for integer n (monotone pieces handled by case analysis).
+inline Interval pow(const Interval& a, int n) {
+  if (n == 0) return {1.0, 1.0};
+  if (n < 0) return Interval{1.0, 1.0} / pow(a, -n);
+  Interval acc{1.0, 1.0};
+  for (int i = 0; i < n; ++i) acc = acc * a;
+  // Tighten even powers straddling zero: min is 0, not product of bounds.
+  if (n % 2 == 0 && a.contains(0.0)) {
+    const double m = std::max(std::abs(a.lo()), std::abs(a.hi()));
+    return {0.0, std::pow(m, n)};
+  }
+  return acc;
+}
+
+inline Interval min(const Interval& a, const Interval& b) {
+  return {std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi())};
+}
+inline Interval max(const Interval& a, const Interval& b) {
+  return {std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
+}
+
+}  // namespace amsyn::num

@@ -1,0 +1,103 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace amsyn::num {
+
+void SparseBuilder::add(std::size_t i, std::size_t j, double v) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("SparseBuilder::add");
+  if (v == 0.0) return;
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+SparseBuilder::CSR SparseBuilder::compress() const {
+  const std::size_t nnzIn = vs_.size();
+  std::vector<std::size_t> order(nnzIn);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return is_[a] != is_[b] ? is_[a] < is_[b] : js_[a] < js_[b];
+  });
+
+  CSR out;
+  out.n = n_;
+  std::vector<std::size_t> rowOf;  // row index of each compressed entry
+  for (std::size_t k : order) {
+    const std::size_t i = is_[k], j = js_[k];
+    if (!rowOf.empty() && rowOf.back() == i && out.col.back() == j) {
+      out.val.back() += vs_[k];  // merge duplicate (i, j)
+    } else {
+      rowOf.push_back(i);
+      out.col.push_back(j);
+      out.val.push_back(vs_[k]);
+    }
+  }
+  out.rowPtr.assign(n_ + 1, 0);
+  for (std::size_t r : rowOf) ++out.rowPtr[r + 1];
+  for (std::size_t r = 1; r <= n_; ++r) out.rowPtr[r] += out.rowPtr[r - 1];
+  return out;
+}
+
+std::vector<double> SparseBuilder::CSR::multiply(const std::vector<double>& x) const {
+  if (x.size() != n) throw std::invalid_argument("CSR::multiply size mismatch");
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k) y[i] += val[k] * x[col[k]];
+  return y;
+}
+
+CGResult conjugateGradient(const SparseBuilder::CSR& a, const std::vector<double>& b,
+                           double tol, std::size_t maxIter) {
+  const std::size_t n = a.n;
+  if (b.size() != n) throw std::invalid_argument("conjugateGradient size mismatch");
+  if (maxIter == 0) maxIter = 4 * n + 100;
+
+  // Jacobi preconditioner.
+  std::vector<double> diag(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = a.rowPtr[i]; k < a.rowPtr[i + 1]; ++k)
+      if (a.col[k] == i && a.val[k] != 0.0) diag[i] = a.val[k];
+
+  CGResult res;
+  res.x.assign(n, 0.0);
+  std::vector<double> r = b;
+  std::vector<double> z(n), p(n), ap(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  p = z;
+  double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+  const double bnorm = std::sqrt(std::inner_product(b.begin(), b.end(), b.begin(), 0.0));
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  for (std::size_t it = 0; it < maxIter; ++it) {
+    ap = a.multiply(p);
+    const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+    if (pap <= 0.0) break;  // matrix not SPD along p; bail with best effort
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rnorm = std::sqrt(std::inner_product(r.begin(), r.end(), r.begin(), 0.0));
+    res.iterations = it + 1;
+    res.residual = rnorm / bnorm;
+    if (res.residual < tol) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    const double rzNew = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace amsyn::num

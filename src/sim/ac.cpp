@@ -1,0 +1,72 @@
+#include "sim/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amsyn::sim {
+
+double AcSweep::magnitudeDb(std::size_t i) const {
+  return 20.0 * std::log10(std::max(std::abs(points.at(i).value), 1e-30));
+}
+
+double AcSweep::phaseDeg(std::size_t i) const {
+  // Unwrap from the start of the sweep so phase margins read correctly.
+  double prev = std::arg(points.at(0).value);
+  double acc = prev;
+  for (std::size_t k = 1; k <= i; ++k) {
+    double ph = std::arg(points.at(k).value);
+    while (ph - prev > M_PI) ph -= 2.0 * M_PI;
+    while (ph - prev < -M_PI) ph += 2.0 * M_PI;
+    acc = ph;
+    prev = ph;
+  }
+  return acc * 180.0 / M_PI;
+}
+
+std::vector<double> logspace(double fStart, double fStop, std::size_t pointsPerDecade) {
+  if (fStart <= 0 || fStop <= fStart || pointsPerDecade == 0)
+    throw std::invalid_argument("logspace: bad range");
+  std::vector<double> fs;
+  const double decades = std::log10(fStop / fStart);
+  const std::size_t n = static_cast<std::size_t>(std::ceil(decades * pointsPerDecade)) + 1;
+  for (std::size_t i = 0; i < n; ++i)
+    fs.push_back(fStart * std::pow(10.0, decades * static_cast<double>(i) /
+                                             static_cast<double>(n - 1)));
+  return fs;
+}
+
+AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
+                   const std::vector<double>& frequencies) {
+  if (!op.converged) throw std::invalid_argument("acAnalysis: operating point not converged");
+  const auto outNode = mna.netlist().findNode(outputNode);
+  if (!outNode) throw std::invalid_argument("acAnalysis: unknown node " + outputNode);
+  const std::size_t outIdx = mna.nodeIndex(*outNode);
+  if (outIdx == static_cast<std::size_t>(-1))
+    throw std::invalid_argument("acAnalysis: output is ground");
+
+  num::MatrixD g, c;
+  num::VecD b;
+  mna.acMatrices(op.x, g, c, b);
+  const std::size_t n = mna.size();
+
+  AcSweep sweep;
+  sweep.points.reserve(frequencies.size());
+  for (double f : frequencies) {
+    const double w = 2.0 * M_PI * f;
+    num::MatrixC a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = {g(i, j), w * c(i, j)};
+    num::VecC rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i];
+    const num::VecC x = num::LUC(std::move(a)).solve(rhs);
+    sweep.points.push_back({f, x[outIdx]});
+  }
+  return sweep;
+}
+
+std::complex<double> acTransfer(const Mna& mna, const DcResult& op,
+                                const std::string& outputNode, double frequency) {
+  return acAnalysis(mna, op, outputNode, {frequency}).points.at(0).value;
+}
+
+}  // namespace amsyn::sim

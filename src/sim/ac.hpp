@@ -1,0 +1,39 @@
+// Small-signal AC analysis: solve (G + j w C) x = b over a frequency sweep,
+// where (G, C, b) are the linearization produced by Mna::acMatrices at a DC
+// operating point.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "sim/dc.hpp"
+#include "sim/mna.hpp"
+
+namespace amsyn::sim {
+
+struct AcPoint {
+  double frequency = 0.0;                  ///< Hz
+  std::complex<double> value{0.0, 0.0};    ///< output-node phasor
+};
+
+struct AcSweep {
+  std::vector<AcPoint> points;
+
+  double magnitudeDb(std::size_t i) const;
+  double phaseDeg(std::size_t i) const;  ///< unwrapped phase in degrees
+};
+
+/// Logarithmic frequency grid.
+std::vector<double> logspace(double fStart, double fStop, std::size_t pointsPerDecade);
+
+/// AC sweep of the voltage at `outputNode`.  The stimulus is whatever AC
+/// magnitudes are present on the netlist's sources.
+AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
+                   const std::vector<double>& frequencies);
+
+/// Single-frequency transfer to an output node.
+std::complex<double> acTransfer(const Mna& mna, const DcResult& op,
+                                const std::string& outputNode, double frequency);
+
+}  // namespace amsyn::sim

@@ -1,0 +1,154 @@
+#include "sim/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amsyn::sim {
+
+namespace {
+
+/// One damped Newton solve at fixed (sourceScale, gmin).  Returns convergence
+/// and leaves the iterate in x.
+bool newtonSolve(const Mna& mna, num::VecD& x, double sourceScale, double gmin,
+                 const DcOptions& opts, std::size_t& iterationsOut) {
+  const std::size_t n = mna.size();
+  num::MatrixD jac(n, n);
+  num::VecD f(n);
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    AssemblyOptions aopt;
+    aopt.sourceScale = sourceScale;
+    aopt.gmin = gmin;
+    mna.assemble(x, aopt, &jac, &f);
+
+    num::VecD dx;
+    try {
+      dx = num::LUD(jac).solve(f);
+    } catch (const std::runtime_error&) {
+      return false;  // singular Jacobian: let the continuation ladder retry
+    }
+    // Damped update with per-unknown clamping (SPICE-style voltage limiting).
+    double maxDx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double step = -dx[i];
+      step = std::clamp(step, -opts.maxStep, opts.maxStep);
+      x[i] += step;
+      maxDx = std::max(maxDx, std::abs(step));
+    }
+    ++iterationsOut;
+    if (maxDx < opts.vAbsTol) {
+      // Confirm with the residual at the accepted point.
+      mna.assemble(x, aopt, nullptr, &f);
+      if (num::normInf(f) < opts.absTol) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DcResult dcOperatingPoint(const Mna& mna, const DcOptions& opts) {
+  return dcOperatingPoint(mna, num::VecD(mna.size(), 0.0), opts);
+}
+
+num::VecD flatStart(const Mna& mna, double nodeVoltage) {
+  num::VecD x(mna.size(), 0.0);
+  for (std::size_t i = 0; i < mna.nodeUnknowns(); ++i) x[i] = nodeVoltage;
+  return x;
+}
+
+DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& opts) {
+  DcResult res;
+  res.x = x0;
+  if (res.x.size() != mna.size()) res.x.assign(mna.size(), 0.0);
+  const num::VecD start = res.x;  // continuation rungs restart from here
+
+  // Rung 1: plain Newton with a small safety gmin.
+  if (newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
+    res.converged = true;
+    res.strategy = "newton";
+    return res;
+  }
+
+  // Rung 2: gmin stepping — start heavily damped, relax geometrically.
+  if (opts.allowGminStepping) {
+    res.x = start;
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= 1e-12; gmin *= 1e-2) {
+      if (!newtonSolve(mna, res.x, 1.0, gmin, opts, res.iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
+      res.converged = true;
+      res.strategy = "gmin";
+      return res;
+    }
+  }
+
+  // Rung 3: source stepping — ramp all independent sources from 10%.
+  if (opts.allowSourceStepping) {
+    res.x = start;
+    bool ok = true;
+    for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      if (!newtonSolve(mna, res.x, scale, 1e-9, opts, res.iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
+      res.converged = true;
+      res.strategy = "source";
+      return res;
+    }
+  }
+
+  res.converged = false;
+  return res;
+}
+
+std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
+                                                  const std::string& sourceName, double from,
+                                                  double to, std::size_t points,
+                                                  const std::string& outputNode) {
+  if (points < 2) throw std::invalid_argument("dcTransfer: need >= 2 points");
+  // Work on a copy of the netlist so the sweep can modify the source value.
+  Netlist net = mna.netlist();
+  circuit::Device* src = net.findDevice(sourceName);
+  if (!src) throw std::invalid_argument("dcTransfer: no source " + sourceName);
+  const auto outNode = net.findNode(outputNode);
+  if (!outNode) throw std::invalid_argument("dcTransfer: no node " + outputNode);
+
+  std::vector<std::pair<double, double>> curve;
+  Mna localMna(net, mna.process());
+  num::VecD warm(localMna.size(), 0.0);
+  bool haveWarm = false;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double val = from + (to - from) * static_cast<double>(i) /
+                                  static_cast<double>(points - 1);
+    src->value = val;
+    src->waveform.v1 = val;
+    DcResult r = haveWarm ? dcOperatingPoint(localMna, warm) : dcOperatingPoint(localMna);
+    if (!r.converged) continue;
+    warm = r.x;
+    haveWarm = true;
+    curve.emplace_back(val, localMna.nodeVoltage(r.x, *outNode));
+  }
+  return curve;
+}
+
+double sourceCurrent(const Mna& mna, const DcResult& op, const std::string& sourceName) {
+  const auto& devs = mna.netlist().devices();
+  for (std::size_t k = 0; k < devs.size(); ++k) {
+    if (devs[k].name != sourceName) continue;
+    if (devs[k].type != circuit::DeviceType::VSource)
+      throw std::invalid_argument("sourceCurrent: " + sourceName + " is not a V source");
+    // Branch current is defined flowing + -> - through the source; the
+    // source *delivers* -i from its + terminal.
+    return -op.x.at(mna.branchIndex(k));
+  }
+  throw std::invalid_argument("sourceCurrent: no device " + sourceName);
+}
+
+}  // namespace amsyn::sim

@@ -1,0 +1,53 @@
+// DC operating-point and DC-transfer analyses: damped Newton-Raphson with
+// gmin stepping and source stepping as continuation fallbacks (the standard
+// SPICE convergence ladder).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/mna.hpp"
+
+namespace amsyn::sim {
+
+struct DcOptions {
+  std::size_t maxIterations = 200;
+  double absTol = 1e-9;     ///< residual current tolerance (A)
+  double vAbsTol = 1e-6;    ///< voltage update tolerance (V)
+  double maxStep = 0.5;     ///< Newton update clamp per unknown (V or A)
+  bool allowGminStepping = true;
+  bool allowSourceStepping = true;
+};
+
+struct DcResult {
+  bool converged = false;
+  num::VecD x;               ///< solution vector (see Mna layout)
+  std::size_t iterations = 0;
+  std::string strategy;      ///< "newton", "gmin", or "source"
+};
+
+/// Solve for the DC operating point.
+DcResult dcOperatingPoint(const Mna& mna, const DcOptions& opts = {});
+
+/// Solve with a warm start (used by DC sweeps and the sizing loop).
+DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& opts = {});
+
+/// Starting vector with every node voltage at `nodeVoltage` and all branch
+/// currents at zero.  Feedback-biased amplifier testbenches have a second,
+/// latched DC solution near the rails; starting Newton mid-rail steers it to
+/// the balanced operating point.
+num::VecD flatStart(const Mna& mna, double nodeVoltage);
+
+/// Sweep the value of a V/I source and record an output node voltage.
+/// Returns {sweepValue, outputVoltage} pairs; non-converged points omitted.
+std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
+                                                  const std::string& sourceName,
+                                                  double from, double to, std::size_t points,
+                                                  const std::string& outputNode);
+
+/// Total current drawn from a DC voltage source at the operating point
+/// (positive = the source delivers current into the circuit from its +
+/// terminal); used for power measurement.
+double sourceCurrent(const Mna& mna, const DcResult& op, const std::string& sourceName);
+
+}  // namespace amsyn::sim

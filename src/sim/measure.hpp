@@ -1,0 +1,66 @@
+// Performance extraction from analysis results — the bridge between raw
+// simulation and the specification-driven synthesis loop.  These are the
+// measurements every surveyed sizing tool optimizes: gain, unity-gain
+// frequency, phase margin, bandwidth, slew rate, settling, power, swing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/transient.hpp"
+
+namespace amsyn::sim {
+
+/// Low-frequency gain in dB (taken from the first sweep point).
+double dcGainDb(const AcSweep& sweep);
+
+/// Frequency where |H| crosses 1 (0 dB), log-interpolated; nullopt if the
+/// sweep never crosses.
+std::optional<double> unityGainFrequency(const AcSweep& sweep);
+
+/// Phase margin in degrees: 180 + phase at the unity-gain frequency.
+std::optional<double> phaseMarginDeg(const AcSweep& sweep);
+
+/// -3 dB bandwidth relative to the dc gain; nullopt if not reached.
+std::optional<double> bandwidth3dB(const AcSweep& sweep);
+
+/// Gain at a specific frequency (dB), log-interpolated on the sweep grid.
+double gainDbAt(const AcSweep& sweep, double frequency);
+
+/// Maximum |dv/dt| over a waveform (V/s) — slew-rate measurement on a
+/// large-signal step response.
+double maxSlewRate(const std::vector<double>& time, const std::vector<double>& wave);
+
+/// Time at which the waveform enters and stays inside target +/- tolerance.
+std::optional<double> settlingTime(const std::vector<double>& time,
+                                   const std::vector<double>& wave, double target,
+                                   double tolerance);
+
+/// Time of the waveform's peak value (pulse-shaping "peaking time").
+double peakTime(const std::vector<double>& time, const std::vector<double>& wave);
+
+/// Static power drawn from all DC voltage sources (W).
+double staticPower(const Mna& mna, const DcResult& op);
+
+/// Output swing: the span of output voltages over a DC-transfer sweep where
+/// the incremental gain exceeds `gainFraction` of its peak.
+struct SwingResult {
+  double low = 0.0;
+  double high = 0.0;
+};
+SwingResult outputSwing(const std::vector<std::pair<double, double>>& transfer,
+                        double gainFraction = 0.25);
+
+/// Power-supply rejection ratio at `frequency` (dB): differential gain from
+/// the source named `inputSource` over the gain from the source named
+/// `supplySource` to the output.  Runs two AC analyses on copies of the
+/// netlist with the AC stimulus moved between the two sources.
+std::optional<double> psrrDb(const circuit::Netlist& net, const circuit::Process& proc,
+                             const std::string& outputNode, double frequency,
+                             const std::string& inputSource = "VINP",
+                             const std::string& supplySource = "VDD");
+
+}  // namespace amsyn::sim

@@ -1,0 +1,92 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace amsyn::sim {
+
+using circuit::Device;
+using circuit::DeviceType;
+using circuit::NodeId;
+
+double NoiseResult::integratedOutputRms() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double df = points[i].frequency - points[i - 1].frequency;
+    acc += 0.5 * (points[i].outputPsd + points[i - 1].outputPsd) * df;
+  }
+  return std::sqrt(acc);
+}
+
+NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
+                          const std::vector<double>& frequencies) {
+  if (!op.converged) throw std::invalid_argument("noiseAnalysis: op not converged");
+  const auto outNode = mna.netlist().findNode(outputNode);
+  if (!outNode || *outNode == circuit::kGround)
+    throw std::invalid_argument("noiseAnalysis: bad output node " + outputNode);
+  const std::size_t outIdx = mna.nodeIndex(*outNode);
+
+  num::MatrixD g, c;
+  num::VecD b;
+  mna.acMatrices(op.x, g, c, b);
+  const std::size_t n = mna.size();
+  const auto mosOps = mna.mosOperatingPoints(op.x);
+
+  NoiseResult res;
+  for (double f : frequencies) {
+    const double w = 2.0 * M_PI * f;
+    num::MatrixC a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = {g(i, j), w * c(i, j)};
+    const num::LUC lu(std::move(a));
+
+    // Forward solve: output phasor under the netlist's AC stimulus (for
+    // input referral).
+    num::VecC rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i];
+    const num::VecC xf = lu.solve(rhs);
+    const double gainMag = std::abs(xf[outIdx]);
+
+    // Adjoint solve: transfer from a unit current injected at any node pair
+    // to the output voltage is (xa[a] - xa[b]).
+    num::VecC e(n, std::complex<double>{0.0, 0.0});
+    e[outIdx] = 1.0;
+    const num::VecC xa = lu.solveTransposed(e);
+
+    auto h2 = [&](NodeId from, NodeId to) {
+      std::complex<double> hv = 0.0;
+      if (from != circuit::kGround) hv += xa[mna.nodeIndex(from)];
+      if (to != circuit::kGround) hv -= xa[mna.nodeIndex(to)];
+      return std::norm(hv);
+    };
+
+    double psd = 0.0;
+    std::size_t mosIdx = 0;
+    for (const Device& d : mna.netlist().devices()) {
+      switch (d.type) {
+        case DeviceType::Resistor:
+          psd += h2(d.nodes[0], d.nodes[1]) * 4.0 * mna.process().kT() / d.value;
+          break;
+        case DeviceType::Mos: {
+          const auto& opInfo = mosOps.at(mosIdx++).second;
+          // Channel noise flows drain -> source.
+          psd += h2(d.nodes[0], d.nodes[2]) *
+                 circuit::mosNoisePsd(d.mos, mna.process(), opInfo, f);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    NoisePoint pt;
+    pt.frequency = f;
+    pt.outputPsd = psd;
+    pt.inputReferredPsd = gainMag > 1e-12 ? psd / (gainMag * gainMag) : 0.0;
+    res.points.push_back(pt);
+  }
+  return res;
+}
+
+}  // namespace amsyn::sim

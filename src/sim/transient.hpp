@@ -1,0 +1,37 @@
+// Transient analysis with backward-Euler startup and trapezoidal integration,
+// Newton iteration per step, and step halving on non-convergence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/dc.hpp"
+#include "sim/mna.hpp"
+
+namespace amsyn::sim {
+
+struct TransientOptions {
+  double tStop = 1e-6;
+  double tStep = 1e-9;          ///< nominal step
+  bool trapezoidal = true;      ///< trapezoidal after the first BE step
+  std::size_t maxNewton = 60;
+  double absTol = 1e-9;
+  double vAbsTol = 1e-6;
+  std::size_t maxHalvings = 8;  ///< step-halving attempts per point
+};
+
+struct TransientResult {
+  bool completed = false;
+  std::vector<double> time;
+  std::vector<num::VecD> states;  ///< full MNA state at each time point
+
+  /// Waveform of one node across the run.
+  std::vector<double> nodeWaveform(const Mna& mna, const std::string& node) const;
+};
+
+/// Run transient from the DC operating point at t = 0 (sources then follow
+/// their waveforms).
+TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
+                                  const TransientOptions& opts);
+
+}  // namespace amsyn::sim

@@ -1,0 +1,52 @@
+#include "sizing/cost.hpp"
+
+#include <cmath>
+
+namespace amsyn::sizing {
+
+CostFunction::CostFunction(const PerformanceModel& model, SpecSet specs, CostOptions opts)
+    : model_(model), specs_(std::move(specs)), opts_(opts) {}
+
+double CostFunction::operator()(const std::vector<double>& x) const {
+  return detailed(x).cost;
+}
+
+CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const {
+  ++evals_;
+  Detail d;
+  d.performance = model_.evaluate(x);
+
+  if (auto it = d.performance.find("_infeasible"); it != d.performance.end()) {
+    d.penalty += opts_.infeasibleCost * it->second;
+  }
+  // The relaxed-dc residual, when present, acts as an extra penalty even if
+  // the caller forgot to spec it — an unconverged bias point must never win.
+  if (auto it = d.performance.find("_dc_residual"); it != d.performance.end()) {
+    d.penalty += opts_.penaltyWeight * it->second * it->second;
+  }
+
+  for (const Spec& s : specs_.specs()) {
+    auto it = d.performance.find(s.performance);
+    if (s.isObjective()) {
+      if (it == d.performance.end()) continue;
+      const double v = it->second / s.normalization();
+      d.objective += opts_.objectiveWeight * s.weight *
+                     (s.kind == SpecKind::Minimize ? v : -v);
+    } else {
+      if (it == d.performance.end()) {
+        d.penalty += opts_.penaltyWeight * s.weight;  // missing = violated
+        continue;
+      }
+      const double viol = s.violation(it->second);
+      d.penalty += opts_.penaltyWeight * s.weight * viol * viol;
+    }
+  }
+  d.feasible = !d.performance.count("_infeasible") &&
+               specs_.satisfied(d.performance, opts_.feasibilityTolerance) &&
+               (!d.performance.count("_dc_residual") ||
+                d.performance.at("_dc_residual") < 1e-2);
+  d.cost = d.penalty + d.objective;
+  return d;
+}
+
+}  // namespace amsyn::sizing

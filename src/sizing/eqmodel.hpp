@@ -1,0 +1,83 @@
+// Equation-based performance models (OPASYN [8] / OPTIMAN [10] style):
+// hand-derived first-order design equations evaluated in microseconds.
+// Design variables are bias currents, overdrive voltages, and the
+// compensation capacitor; device widths follow from W/L = 2 I / (kp Vov^2),
+// so every equation-model design point maps onto the simulatable and
+// layoutable TwoStageParams / OtaParams templates.
+#pragma once
+
+#include <memory>
+
+#include "circuit/process.hpp"
+#include "sizing/opamp.hpp"
+#include "sizing/perfmodel.hpp"
+
+namespace amsyn::sizing {
+
+/// Two-stage Miller opamp, equation-based.
+/// Variables: i5, i7 (stage currents), vov1, vov3, vov5, vov6 (overdrives),
+/// cc (compensation).  Performances: gain_db, ugf, pm, slew, power, area,
+/// swing, noise_nv (input thermal noise density in nV/sqrt(Hz)).
+class TwoStageEquationModel : public PerformanceModel {
+ public:
+  TwoStageEquationModel(const circuit::Process& proc, double loadCap);
+
+  const std::vector<DesignVariable>& variables() const override { return vars_; }
+  Performance evaluate(const std::vector<double>& x) const override;
+
+  /// Map a design point to device sizes for simulation / layout.
+  TwoStageParams toParams(const std::vector<double>& x) const;
+
+  double loadCap() const { return loadCap_; }
+
+ private:
+  const circuit::Process& proc_;
+  double loadCap_;
+  std::vector<DesignVariable> vars_;
+};
+
+/// Five-transistor OTA, equation-based.
+/// Variables: i5, vov1, vov3, vov5.  Performances: gain_db, ugf, pm, slew,
+/// power, area, swing, noise_nv.
+class OtaEquationModel : public PerformanceModel {
+ public:
+  OtaEquationModel(const circuit::Process& proc, double loadCap);
+
+  const std::vector<DesignVariable>& variables() const override { return vars_; }
+  Performance evaluate(const std::vector<double>& x) const override;
+
+  OtaParams toParams(const std::vector<double>& x) const;
+
+ private:
+  const circuit::Process& proc_;
+  double loadCap_;
+  std::vector<DesignVariable> vars_;
+};
+
+/// Equation model that owns a copy of its process — corner and yield
+/// analyses instantiate models at perturbed processes whose lifetime would
+/// otherwise be the caller's problem.
+std::unique_ptr<PerformanceModel> makeTwoStageModel(const circuit::Process& proc,
+                                                    double loadCap);
+std::unique_ptr<PerformanceModel> makeOtaModel(const circuit::Process& proc, double loadCap);
+
+/// Evaluate a *fixed geometry* (widths, Cc, Ibias) under an arbitrary
+/// process instance.  This is the physically correct object for corner and
+/// yield analysis: what a fab varies is kp/Vt/Vdd/T around frozen masks, so
+/// currents and overdrives — the equation model's free variables — shift
+/// with the corner.  Mirror currents derive from the bias reference through
+/// the W5/W8 and W7/W8 ratios.
+Performance evaluateTwoStageGeometry(const TwoStageParams& p, const circuit::Process& proc,
+                                     double loadCap);
+
+/// Corner model: design points live in the electrical variable space of
+/// TwoStageEquationModel, are mapped to geometry at the *nominal* process
+/// (that is what the designer tapes out), and evaluated under the corner
+/// process.  Use in manufacture::ModelFactory lambdas:
+///   [&](const Process& corner) {
+///     return makeTwoStageCornerModel(corner, nominalProcess, cl); }
+std::unique_ptr<PerformanceModel> makeTwoStageCornerModel(const circuit::Process& corner,
+                                                          const circuit::Process& nominal,
+                                                          double loadCap);
+
+}  // namespace amsyn::sizing

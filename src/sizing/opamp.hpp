@@ -1,0 +1,64 @@
+// Circuit templates for the classic CMOS amplifiers every surveyed synthesis
+// system cut its teeth on: the two-stage Miller-compensated opamp and the
+// five-transistor OTA.  One parameter block serves the equation-based
+// evaluator, the simulation-based evaluator, and the layout generators, so a
+// sizing produced by any engine can be verified and laid out by the others.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+
+namespace amsyn::sizing {
+
+/// Device sizes for the two-stage opamp (M2 = M1, M4 = M3 by symmetry):
+///   M1/M2  NMOS input pair          M3/M4  PMOS mirror load
+///   M5     NMOS tail source         M8     NMOS bias diode
+///   M6     PMOS output driver       M7     NMOS output sink
+///   Cc     Miller capacitor (farads)
+struct TwoStageParams {
+  double w1 = 50e-6;
+  double w3 = 20e-6;
+  double w5 = 20e-6;
+  double w6 = 100e-6;
+  double w7 = 40e-6;
+  double w8 = 10e-6;
+  double l = 2e-6;       ///< channel length, all devices
+  double cc = 3e-12;
+  double ibias = 20e-6;  ///< reference current into the bias diode
+
+  /// Total active gate area plus an estimate for Cc (m^2).
+  double activeArea(const circuit::Process& proc) const;
+};
+
+struct OpampTestbench {
+  double loadCap = 5e-12;
+  double vicm = 2.2;      ///< input common-mode voltage
+  bool dcFeedback = true; ///< huge-RC feedback to pin the DC operating point
+};
+
+/// Build the open-loop AC test bench netlist around a two-stage opamp:
+/// supplies, bias source, load, and (optionally) the R-C feedback trick that
+/// fixes the DC operating point while leaving AC >= 1 Hz open loop.
+/// Node names: "inp" (AC input), "inn", "out", "no1" (stage-1 output).
+circuit::Netlist buildTwoStageOpamp(const TwoStageParams& p, const circuit::Process& proc,
+                                    const OpampTestbench& tb = {});
+
+/// Five-transistor OTA (single-stage): NMOS pair M1/M2, PMOS mirror M3/M4,
+/// NMOS tail M5, bias diode M8.
+struct OtaParams {
+  double w1 = 40e-6;
+  double w3 = 20e-6;
+  double w5 = 20e-6;
+  double w8 = 10e-6;
+  double l = 2e-6;
+  double ibias = 20e-6;
+
+  double activeArea(const circuit::Process& proc) const;
+};
+
+circuit::Netlist buildOta(const OtaParams& p, const circuit::Process& proc,
+                          const OpampTestbench& tb = {});
+
+}  // namespace amsyn::sizing

@@ -1,0 +1,63 @@
+// The evaluator abstraction behind Fig. 1b of the paper: every optimization-
+// based synthesis engine iterates "evaluate performance -> adjust sizes".
+// What varies between the surveyed systems is only the evaluator:
+//   * equation-based (OPASYN [8], OPTIMAN [10]) -> EquationModel subclasses
+//   * simulation-based (FRIDGE [22])            -> SimulationModel
+//   * mixed AWE/equations (ASTRX/OBLX [23])     -> RelaxedDcModel
+// All plug into the same CostFunction + annealer.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amsyn::sizing {
+
+/// One independent design variable with box bounds.  Log-scaled variables
+/// move multiplicatively during optimization (right for currents and device
+/// sizes that span decades).
+struct DesignVariable {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool logScale = true;
+  /// Relative proposal step for annealing moves (1.0 = default spread).
+  /// Bias-voltage unknowns in the relaxed-dc formulation use small values:
+  /// a valid operating point survives millivolt nudges, not volt jumps.
+  double moveScale = 1.0;
+};
+
+using Performance = std::map<std::string, double>;
+
+/// Interface: map a design-variable vector to named performance numbers.
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+
+  virtual const std::vector<DesignVariable>& variables() const = 0;
+
+  /// Evaluate all performances at design point x (same order/size as
+  /// variables()).  Implementations must be deterministic.  A design point
+  /// that fails to evaluate (e.g. no DC convergence) reports the special
+  /// performance {"_infeasible": 1.0} plus whatever it could compute.
+  virtual Performance evaluate(const std::vector<double>& x) const = 0;
+
+  /// A reasonable starting point (defaults to the geometric middle).
+  virtual std::vector<double> initialPoint() const;
+
+  std::size_t dimension() const { return variables().size(); }
+};
+
+inline std::vector<double> PerformanceModel::initialPoint() const {
+  std::vector<double> x;
+  for (const DesignVariable& v : variables()) {
+    if (v.logScale && v.lo > 0.0)
+      x.push_back(std::sqrt(v.lo * v.hi));  // geometric middle
+    else
+      x.push_back(0.5 * (v.lo + v.hi));
+  }
+  return x;
+}
+
+}  // namespace amsyn::sizing

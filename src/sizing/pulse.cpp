@@ -1,0 +1,105 @@
+#include "sizing/pulse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amsyn::sizing {
+
+namespace {
+constexpr double kQ = 1.602176634e-19;  // electron charge
+constexpr double kSeriesForm = 0.9;     // semi-Gaussian series-noise form factor
+constexpr double kParallelForm = 0.6;   // parallel-noise form factor
+constexpr double kFlickerForm = 2.0;
+constexpr double kCsaLength = 1e-6;     // CSA input-device channel length
+constexpr double kBiasOverhead = 20e-6; // bias branch current
+constexpr double kLayoutOverhead = 330; // gate-area to placed-and-routed ratio
+}  // namespace
+
+PulseDetectorModel::PulseDetectorModel(const circuit::Process& proc, PulseDetectorConfig cfg)
+    : proc_(proc), cfg_(cfg) {
+  vars_ = {
+      {"i_csa", 2e-6, 10e-3, true},       // CSA input branch current
+      {"vov_csa", 0.10, 0.50, false},
+      {"cf", 1e-15, 200e-15, true},       // CSA feedback capacitor
+      {"tau", 0.05e-6, 0.5e-6, true},     // shaper time constant
+      {"i_stage", 5e-6, 3e-3, true},      // per-stage shaper current
+      {"vov_stage", 0.10, 0.50, false},
+  };
+}
+
+Performance PulseDetectorModel::evaluate(const std::vector<double>& x) const {
+  if (x.size() != vars_.size()) throw std::invalid_argument("PulseDetectorModel: dimension");
+  const double iCsa = x[0], vovCsa = x[1], cf = x[2], tau = x[3];
+  const double iStage = x[4], vovStage = x[5];
+  const double n = static_cast<double>(cfg_.shaperStages);
+
+  // CSA input device.
+  const double gm1 = 2.0 * iCsa / vovCsa;
+  const double w1 =
+      std::max(proc_.minW, 2.0 * iCsa * kCsaLength / (proc_.kpN * vovCsa * vovCsa));
+  const double cgs1 = (2.0 / 3.0) * proc_.cox * w1 * kCsaLength;
+  const double cin = cfg_.detectorCap + cgs1;
+
+  // Shaper stage lag: each stage must realize gain g at bandwidth 1/tau;
+  // a weak stage adds its own time constant g*Cst/gm_st.
+  const double gmSt = 2.0 * iStage / vovStage;
+  const double tauStage = cfg_.shaperStageGain * cfg_.stageLoadCap / gmSt;
+
+  // CSA charge-transfer time constant: the loop gain through Cf must slew
+  // the detector charge onto the feedback cap; tau_csa = Cdet*Cload/(gm1*Cf)
+  // is what actually forces big input-device transconductance (and hence
+  // the milliwatts) in real pulse frontends.
+  const double tauCsa = cfg_.detectorCap * cfg_.csaLoadCap / (gm1 * cf);
+
+  // Semi-Gaussian peaking time: n shaping constants + CSA rise + stage lag.
+  const double tShape = n * tau;
+  const double tp = tShape + tauCsa + 3.0 * cin / gm1 + n * tauStage;
+
+  // Occupancy-limited counting rate: a pulse occupies ~4.9 shaping spans
+  // plus the CSA recovery.
+  const double occupancy = 4.9 * (tShape + n * tauStage) + 2.0 * tauCsa + 2.0 * cin / gm1;
+
+  // Equivalent noise charge (rms electrons): series (channel thermal),
+  // parallel (detector leakage shot noise), 1/f.
+  const double series2 =
+      kSeriesForm * cin * cin * (4.0 * proc_.kT() * (2.0 / 3.0) / gm1) / tShape;
+  const double parallel2 = kParallelForm * 2.0 * kQ * cfg_.leakageCurrent * tShape;
+  const double flicker2 =
+      kFlickerForm * (proc_.kfN / (proc_.cox * w1 * kCsaLength)) * cin * cin;
+  const double encE = std::sqrt(series2 + parallel2 + flicker2) / kQ;
+
+  // Conversion gain: Q/Cf through the shaper's gain and semi-Gaussian peak
+  // factor n^n e^-n / n!.
+  const double peakFactor = std::pow(n, n) * std::exp(-n) / std::tgamma(n + 1.0);
+  const double shaperGain = std::pow(cfg_.shaperStageGain, n);
+  const double gainVfC = (1e-15 / cf) * shaperGain * peakFactor;
+
+  // Output range: stages run out of headroom at ~3 overdrives from mid-rail.
+  const double rangeV = std::max(0.0, proc_.vdd / 2.0 - 3.0 * vovStage);
+
+  const double power = proc_.vdd * (iCsa + n * iStage + kBiasOverhead);
+
+  const double wStage = std::max(
+      proc_.minW, 2.0 * iStage * kCsaLength / (proc_.kpN * vovStage * vovStage));
+  const double gateArea = w1 * kCsaLength + n * wStage * kCsaLength;
+  const double areaMm2 = 1e6 * kLayoutOverhead * gateArea + 0.08;
+
+  Performance perf;
+  perf["peaking_us"] = tp * 1e6;
+  perf["counting_khz"] = 1e-3 / occupancy;
+  perf["noise_e"] = encE;
+  perf["gain_v_fc"] = gainVfC;
+  perf["range_v"] = rangeV;
+  perf["power"] = power;
+  perf["area_mm2"] = areaMm2;
+  return perf;
+}
+
+std::vector<double> PulseDetectorModel::manualDesign() const {
+  // The encoded expert solution: big currents everywhere for comfortable
+  // margins — 40 mW, ENC well under budget, exactly the Table-1 "manual"
+  // column's character.
+  return {4e-3, 0.20, 2.5e-15, 0.20e-6, 1e-3, 0.50};
+}
+
+}  // namespace amsyn::sizing

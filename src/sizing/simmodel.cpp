@@ -1,0 +1,133 @@
+#include "sizing/simmodel.hpp"
+
+#include <cmath>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/measure.hpp"
+#include "sim/noise.hpp"
+#include "sim/transient.hpp"
+
+namespace amsyn::sizing {
+
+SimulationModel::SimulationModel(CircuitTemplate tmpl, const circuit::Process& proc,
+                                 SimModelOptions opts)
+    : tmpl_(std::move(tmpl)), proc_(proc), opts_(opts) {}
+
+Performance SimulationModel::evaluate(const std::vector<double>& x) const {
+  ++evals_;
+  Performance perf;
+  circuit::Netlist net = tmpl_.build(x);
+  sim::Mna mna(net, proc_);
+
+  // Mid-rail start: feedback-biased benches latch when started from zero.
+  const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc_.vdd / 2));
+  if (!op.converged) {
+    perf["_infeasible"] = 1.0;
+    return perf;
+  }
+  if (opts_.outputMustBeInterior) {
+    const double vout = mna.nodeVoltage(op.x, *net.findNode(tmpl_.outputNode));
+    if (vout < opts_.interiorMargin || vout > proc_.vdd - opts_.interiorMargin) {
+      perf["_infeasible"] = 1.0;  // output stuck at a rail (latched bias)
+      return perf;
+    }
+  }
+
+  perf["power"] = sim::staticPower(mna, op);
+  perf["area"] = net.totalGateArea();
+
+  const auto freqs = sim::logspace(opts_.fStart, opts_.fStop, opts_.pointsPerDecade);
+  const auto sweep = sim::acAnalysis(mna, op, tmpl_.outputNode, freqs);
+  perf["gain_db"] = sim::dcGainDb(sweep);
+  const auto ugf = sim::unityGainFrequency(sweep);
+  const auto pm = sim::phaseMarginDeg(sweep);
+  if (!ugf || !pm) {
+    perf["_infeasible"] = 1.0;
+    return perf;
+  }
+  perf["ugf"] = *ugf;
+  perf["pm"] = *pm;
+
+  // Output swing estimated from the output-stage overdrives: the stage is
+  // linear while its devices remain saturated.
+  double swingLo = 0.0, swingHi = proc_.vdd;
+  const auto ops = mna.mosOperatingPoints(op.x);
+  for (const auto& [name, mop] : ops) {
+    if (name == "M6") swingHi = proc_.vdd - std::max(0.0, mop.vov);
+    if (name == "M7") swingLo = std::max(0.0, mop.vov);
+    if (name == "M4") swingHi = std::min(swingHi, proc_.vdd - std::max(0.0, mop.vov));
+  }
+  perf["swing"] = std::max(0.0, swingHi - swingLo);
+
+  if (opts_.measureNoise) {
+    const auto nz = sim::noiseAnalysis(mna, op, tmpl_.outputNode,
+                                       {opts_.noiseSpotFrequency});
+    perf["noise_nv"] = std::sqrt(nz.points.at(0).inputReferredPsd) * 1e9;
+  }
+
+  // Slew rate: either a (slow) transient measurement or the classic
+  // tail-current estimate from the operating point.
+  if (opts_.measureSlewTransient) {
+    circuit::Netlist tnet = tmpl_.build(x);
+    if (auto* vin = tnet.findDevice("VINP")) {
+      vin->waveform.kind = circuit::Waveform::Kind::Pulse;
+      vin->waveform.v1 = vin->value - 0.5;
+      vin->waveform.v2 = vin->value + 0.5;
+      vin->waveform.delay = 1e-7;
+      vin->waveform.rise = 1e-9;
+      vin->waveform.width = 1.0;
+      vin->waveform.period = 2.0;
+      sim::Mna tmna(tnet, proc_);
+      const auto top = sim::dcOperatingPoint(tmna);
+      if (top.converged) {
+        sim::TransientOptions topts;
+        topts.tStop = 2e-6;
+        topts.tStep = 2e-9;
+        const auto tr = sim::transientAnalysis(tmna, top, topts);
+        if (tr.completed)
+          perf["slew"] = sim::maxSlewRate(tr.time, tr.nodeWaveform(tmna, tmpl_.outputNode));
+      }
+    }
+  } else {
+    // I(tail) / Cc estimate when the template exposes them.
+    double itail = 0.0, cc = 0.0;
+    for (const auto& [name, mop] : ops)
+      if (name == "M5") itail = std::abs(mop.ids);
+    for (const auto& d : net.devices())
+      if (d.name == "CC") cc = d.value;
+    if (itail > 0 && cc > 0) perf["slew"] = itail / cc;
+  }
+
+  return perf;
+}
+
+CircuitTemplate twoStageTemplate(const circuit::Process& proc, const OpampTestbench& tb) {
+  CircuitTemplate t;
+  t.variables = {
+      {"w1", proc.minW, 800e-6, true},
+      {"w3", proc.minW, 400e-6, true},
+      {"w5", proc.minW, 400e-6, true},
+      {"w6", proc.minW, 1600e-6, true},
+      {"w7", proc.minW, 800e-6, true},
+      {"cc", 0.2e-12, 2e-11, true},
+      {"ibias", 2e-6, 200e-6, true},
+  };
+  t.outputNode = "out";
+  t.build = [&proc, tb](const std::vector<double>& x) {
+    TwoStageParams p;
+    p.w1 = x[0];
+    p.w3 = x[1];
+    p.w5 = x[2];
+    p.w6 = x[3];
+    p.w7 = x[4];
+    p.cc = x[5];
+    p.ibias = x[6];
+    p.w8 = p.w5 / 4.0;  // mirror ratio 4: tail carries 4x the reference
+    p.l = 2e-6;
+    return buildTwoStageOpamp(p, proc, tb);
+  };
+  return t;
+}
+
+}  // namespace amsyn::sizing

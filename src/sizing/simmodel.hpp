@@ -1,0 +1,72 @@
+// Simulation-based performance evaluation (FRIDGE [22] style): every
+// optimizer iteration builds the netlist from the design vector and runs the
+// full simulator — DC operating point, AC sweep, noise, and (optionally)
+// large-signal transient for slew.  Orders of magnitude slower per iteration
+// than the equation models (bench/bench_claim_eval_speed quantifies this),
+// but introduces no modeling error and makes new circuit schematics cheap to
+// bring up: exactly the trade the paper describes in section 2.2.
+#pragma once
+
+#include <functional>
+
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+#include "sizing/opamp.hpp"
+#include "sizing/perfmodel.hpp"
+
+namespace amsyn::sizing {
+
+struct SimModelOptions {
+  double fStart = 1.0;
+  double fStop = 1e9;
+  std::size_t pointsPerDecade = 6;
+  bool measureNoise = true;
+  double noiseSpotFrequency = 1e4;  ///< Hz for the "noise_nv" spot value
+  bool measureSlewTransient = false;  ///< run a step-response transient (slow)
+  /// Declare the design infeasible when the DC output sits at a supply rail
+  /// (the latched solution of a feedback-biased open-loop bench).
+  bool outputMustBeInterior = true;
+  double interiorMargin = 0.15;  ///< volts from either rail
+};
+
+/// Generic netlist-producing template: design vector -> testbench netlist.
+/// The output node is where gain/noise are measured; the input source must
+/// carry the AC stimulus.
+struct CircuitTemplate {
+  std::vector<DesignVariable> variables;
+  std::function<circuit::Netlist(const std::vector<double>&)> build;
+  std::string outputNode = "out";
+};
+
+class SimulationModel : public PerformanceModel {
+ public:
+  SimulationModel(CircuitTemplate tmpl, const circuit::Process& proc,
+                  SimModelOptions opts = {});
+
+  const std::vector<DesignVariable>& variables() const override {
+    return tmpl_.variables;
+  }
+
+  /// Performances: gain_db, ugf, pm, power, noise_nv (when enabled), swing,
+  /// area (gate area), slew (when transient enabled).  Reports
+  /// {"_infeasible": 1} when the DC operating point fails or the amplifier
+  /// has no unity-gain crossing.
+  Performance evaluate(const std::vector<double>& x) const override;
+
+  /// Number of full simulator invocations so far (for the Fig. 1 runtime
+  /// comparison).
+  std::size_t evaluations() const { return evals_; }
+
+ private:
+  CircuitTemplate tmpl_;
+  const circuit::Process& proc_;
+  SimModelOptions opts_;
+  mutable std::size_t evals_ = 0;
+};
+
+/// Ready-made template: two-stage opamp with widths/cc/ibias as variables.
+/// Variables: w1, w3, w5, w6, w7, cc, ibias (w8 tracks w5 at the reference
+/// current ratio; lengths fixed at 2 um).
+CircuitTemplate twoStageTemplate(const circuit::Process& proc, const OpampTestbench& tb);
+
+}  // namespace amsyn::sizing

@@ -1,0 +1,113 @@
+#include "topology/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/rng.hpp"
+
+namespace amsyn::topology {
+
+namespace {
+
+/// Map a unit gene to a design value, respecting log scaling.
+double geneToValue(double g, const sizing::DesignVariable& v) {
+  g = std::clamp(g, 0.0, 1.0);
+  if (v.logScale && v.lo > 0) return v.lo * std::pow(v.hi / v.lo, g);
+  return v.lo + g * (v.hi - v.lo);
+}
+
+struct Individual {
+  std::size_t topo = 0;
+  std::vector<double> genes;  // unit cube, length = max model dimension
+  double fitness = 0.0;       // negated cost: larger is better
+};
+
+}  // namespace
+
+GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
+                                   const GeneticOptions& opts) {
+  num::Rng rng(opts.seed);
+  const auto& entries = lib.entries();
+  if (entries.empty()) throw std::invalid_argument("geneticSelectAndSize: empty library");
+
+  std::size_t maxDim = 0;
+  std::vector<std::unique_ptr<sizing::CostFunction>> costs;
+  for (const auto& e : entries) {
+    maxDim = std::max(maxDim, e.model->dimension());
+    costs.push_back(std::make_unique<sizing::CostFunction>(*e.model, specs, opts.cost));
+  }
+
+  GeneticResult result;
+
+  auto decode = [&](const Individual& ind) {
+    const auto& vars = entries[ind.topo].model->variables();
+    std::vector<double> x(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) x[i] = geneToValue(ind.genes[i], vars[i]);
+    return x;
+  };
+  auto evaluate = [&](Individual& ind) {
+    ++result.evaluations;
+    ind.fitness = -(*costs[ind.topo])(decode(ind));
+  };
+
+  // Random initial population spread across all topologies.
+  std::vector<Individual> pop(opts.populationSize);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    pop[i].topo = i % entries.size();
+    pop[i].genes.resize(maxDim);
+    for (double& g : pop[i].genes) g = rng.uniform();
+    evaluate(pop[i]);
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = &pop[rng.index(pop.size())];
+    for (std::size_t k = 1; k < opts.tournamentSize; ++k) {
+      const Individual& c = pop[rng.index(pop.size())];
+      if (c.fitness > best->fitness) best = &c;
+    }
+    return *best;
+  };
+
+  Individual bestEver = *std::max_element(
+      pop.begin(), pop.end(),
+      [](const Individual& a, const Individual& b) { return a.fitness < b.fitness; });
+
+  for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    next.push_back(bestEver);  // elitism
+    while (next.size() < pop.size()) {
+      Individual child = tournament();
+      const Individual& other = tournament();
+      // Crossover: uniform gene mixing; the topology gene follows the
+      // fitter parent (already `child`).
+      if (rng.chance(opts.crossoverRate)) {
+        for (std::size_t i = 0; i < maxDim; ++i)
+          if (rng.chance(0.5)) child.genes[i] = other.genes[i];
+      }
+      // Mutation.
+      for (double& g : child.genes)
+        if (rng.chance(opts.mutationRate))
+          g = std::clamp(g + rng.normal(0.0, opts.mutationSigma), 0.0, 1.0);
+      if (rng.chance(opts.topologyMutationRate))
+        child.topo = rng.index(entries.size());
+      evaluate(child);
+      if (child.fitness > bestEver.fitness) bestEver = child;
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+
+  for (const auto& ind : pop) result.populationShare[entries[ind.topo].name] += 1.0;
+  for (auto& [k, v] : result.populationShare) v /= static_cast<double>(pop.size());
+
+  result.topology = entries[bestEver.topo].name;
+  result.x = decode(bestEver);
+  const auto detail = costs[bestEver.topo]->detailed(result.x);
+  result.performance = detail.performance;
+  result.cost = detail.cost;
+  result.feasible = detail.feasible;
+  return result;
+}
+
+}  // namespace amsyn::topology

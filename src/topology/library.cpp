@@ -1,0 +1,135 @@
+#include "topology/library.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sizing/eqmodel.hpp"
+
+namespace amsyn::topology {
+
+using num::Interval;
+using sizing::SpecKind;
+using sizing::SpecSet;
+
+void TopologyLibrary::add(TopologyEntry entry) { entries_.push_back(std::move(entry)); }
+
+const TopologyEntry& TopologyLibrary::byName(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e;
+  throw std::out_of_range("TopologyLibrary: no topology named " + name);
+}
+
+FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
+                                   std::size_t gridPerAxis, double widen) {
+  const auto& vars = model.variables();
+  const std::size_t n = vars.size();
+  FeasibilityBounds bounds;
+  bool first = true;
+
+  // Walk the full grid with a mixed-radix counter.
+  std::vector<std::size_t> idx(n, 0);
+  while (true) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = gridPerAxis == 1
+                           ? 0.5
+                           : static_cast<double>(idx[i]) / static_cast<double>(gridPerAxis - 1);
+      const auto& v = vars[i];
+      x[i] = (v.logScale && v.lo > 0) ? v.lo * std::pow(v.hi / v.lo, t)
+                                      : v.lo + t * (v.hi - v.lo);
+    }
+    const auto perf = model.evaluate(x);
+    for (const auto& [k, val] : perf) {
+      if (k.rfind('_', 0) == 0) continue;  // skip meta performances
+      if (first || !bounds.count(k)) {
+        if (!bounds.count(k)) bounds.emplace(k, Interval{val, val});
+      }
+      auto& b = bounds.at(k);
+      b = Interval{std::min(b.lo(), val), std::max(b.hi(), val)};
+    }
+    first = false;
+
+    std::size_t d = 0;
+    while (d < n && ++idx[d] == gridPerAxis) idx[d++] = 0;
+    if (d == n) break;
+  }
+
+  // Widen conservatively: grid sampling underestimates the reachable hull.
+  for (auto& [k, b] : bounds) {
+    const double mid = b.mid(), half = b.width() / 2.0;
+    b = Interval{mid - half * widen, mid + half * widen};
+  }
+  return bounds;
+}
+
+TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap) {
+  TopologyLibrary lib;
+
+  {
+    TopologyEntry ota;
+    ota.name = "five-transistor-ota";
+    ota.model = std::make_shared<sizing::OtaEquationModel>(proc, loadCap);
+    ota.bounds = boundsBySampling(*ota.model, 5);
+    ota.complexity = 6;
+    ota.rules.push_back({"single stage suffices for moderate gain",
+                         [](const SpecSet& specs) {
+                           for (const auto& s : specs.specs())
+                             if (s.performance == "gain_db" &&
+                                 s.kind == SpecKind::GreaterEqual)
+                               return s.bound <= 45.0 ? 2.0 : -3.0;
+                           return 0.0;
+                         }});
+    ota.rules.push_back({"no compensation: better for high speed",
+                         [](const SpecSet& specs) {
+                           for (const auto& s : specs.specs())
+                             if (s.performance == "ugf" && s.kind == SpecKind::GreaterEqual)
+                               return s.bound >= 2e7 ? 1.0 : 0.0;
+                           return 0.0;
+                         }});
+    ota.rules.push_back({"one current branch: favored for low power",
+                         [](const SpecSet& specs) {
+                           for (const auto& s : specs.specs())
+                             if (s.performance == "power" &&
+                                 (s.kind == SpecKind::Minimize ||
+                                  s.kind == SpecKind::LessEqual))
+                               return 1.0;
+                           return 0.0;
+                         }});
+    lib.add(std::move(ota));
+  }
+
+  {
+    TopologyEntry ts;
+    ts.name = "two-stage-miller";
+    ts.model = std::make_shared<sizing::TwoStageEquationModel>(proc, loadCap);
+    ts.bounds = boundsBySampling(*ts.model, 4);
+    ts.complexity = 9;
+    ts.rules.push_back({"two gain stages needed above ~45 dB",
+                        [](const SpecSet& specs) {
+                          for (const auto& s : specs.specs())
+                            if (s.performance == "gain_db" &&
+                                s.kind == SpecKind::GreaterEqual)
+                              return s.bound > 45.0 ? 3.0 : -1.0;
+                          return 0.0;
+                        }});
+    ts.rules.push_back({"output stage gives rail-to-rail-ish swing",
+                        [](const SpecSet& specs) {
+                          for (const auto& s : specs.specs())
+                            if (s.performance == "swing" && s.kind == SpecKind::GreaterEqual)
+                              return s.bound >= 3.0 ? 1.5 : 0.0;
+                          return 0.0;
+                        }});
+    ts.rules.push_back({"second branch costs power",
+                        [](const SpecSet& specs) {
+                          for (const auto& s : specs.specs())
+                            if (s.performance == "power" && s.kind == SpecKind::Minimize)
+                              return -0.5;
+                          return 0.0;
+                        }});
+    lib.add(std::move(ts));
+  }
+
+  return lib;
+}
+
+}  // namespace amsyn::topology

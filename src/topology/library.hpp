@@ -1,0 +1,67 @@
+// Topology library: the menu of circuit schematics a selection strategy
+// chooses from (section 2.1: "selecting the most appropriate circuit
+// topology out of a set of alternatives, that can best meet the given
+// specifications").  Each entry bundles an equation-based performance model
+// (for optimization and interval analysis), heuristic applicability rules,
+// and coarse feasibility intervals.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/process.hpp"
+#include "numeric/interval.hpp"
+#include "sizing/perfmodel.hpp"
+#include "sizing/spec.hpp"
+
+namespace amsyn::topology {
+
+/// Achievable performance ranges: performance name -> interval over the
+/// whole design space (computed by interval evaluation, ref [15]).
+using FeasibilityBounds = std::map<std::string, num::Interval>;
+
+/// A heuristic applicability rule (OPASYN-style rule-based selection):
+/// returns a score contribution (positive favors the topology) with an
+/// explanation.
+struct HeuristicRule {
+  std::string description;
+  std::function<double(const sizing::SpecSet&)> score;
+};
+
+struct TopologyEntry {
+  std::string name;
+  std::shared_ptr<sizing::PerformanceModel> model;
+  FeasibilityBounds bounds;
+  std::vector<HeuristicRule> rules;
+  /// Relative structural complexity (devices); tie-breaker — simpler wins.
+  int complexity = 0;
+};
+
+class TopologyLibrary {
+ public:
+  void add(TopologyEntry entry);
+  const std::vector<TopologyEntry>& entries() const { return entries_; }
+  const TopologyEntry& byName(const std::string& name) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TopologyEntry> entries_;
+};
+
+/// The built-in amplifier library: five-transistor OTA and two-stage Miller
+/// opamp, with interval bounds derived from their equation models over the
+/// full design-variable box.
+TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap);
+
+/// Interval evaluation of an equation model: bound each performance over the
+/// design box by sampling a coarse grid and taking the hull, widened by a
+/// safety factor.  (A conservative, implementation-agnostic stand-in for
+/// per-model interval arithmetic; soundness direction: intervals always
+/// contain every sampled achievable point.)
+FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
+                                   std::size_t gridPerAxis = 3, double widen = 1.15);
+
+}  // namespace amsyn::topology

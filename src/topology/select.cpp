@@ -1,0 +1,107 @@
+#include "topology/select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amsyn::topology {
+
+using sizing::Spec;
+using sizing::SpecKind;
+
+std::vector<Candidate> ruleBasedSelect(const TopologyLibrary& lib,
+                                       const sizing::SpecSet& specs) {
+  std::vector<Candidate> out;
+  for (const auto& e : lib.entries()) {
+    Candidate c;
+    c.name = e.name;
+    for (const auto& r : e.rules) {
+      const double s = r.score(specs);
+      if (s != 0.0) {
+        c.score += s;
+        c.reasons.push_back(r.description + " (" + (s > 0 ? "+" : "") + std::to_string(s) +
+                            ")");
+      }
+    }
+    // Prefer structurally simpler circuits on near-ties.
+    c.score -= 0.01 * e.complexity;
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
+                                      const sizing::SpecSet& specs) {
+  std::vector<Candidate> out;
+  for (const auto& e : lib.entries()) {
+    Candidate c;
+    c.name = e.name;
+    c.score = std::numeric_limits<double>::infinity();  // min margin
+    for (const Spec& s : specs.specs()) {
+      if (s.isObjective()) continue;
+      auto it = e.bounds.find(s.performance);
+      if (it == e.bounds.end()) {
+        c.feasible = false;
+        c.reasons.push_back("no bound for " + s.performance);
+        continue;
+      }
+      const auto& b = it->second;
+      double margin;  // normalized distance from the bound into the interval
+      if (s.kind == SpecKind::GreaterEqual) {
+        margin = (b.hi() - s.bound) / s.normalization();
+      } else {
+        margin = (s.bound - b.lo()) / s.normalization();
+      }
+      if (margin < 0.0) {
+        c.feasible = false;
+        c.reasons.push_back(s.describe() + " outside achievable [" +
+                            std::to_string(b.lo()) + ", " + std::to_string(b.hi()) + "]");
+      }
+      c.score = std::min(c.score, margin);
+    }
+    if (!std::isfinite(c.score)) c.score = 0.0;
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    return a.score > b.score;
+  });
+  return out;
+}
+
+SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
+                                  const sizing::SynthesisOptions& opts) {
+  SelectAndSizeResult result;
+
+  // Interval filter first (cheap, sound), then order survivors by rules.
+  const auto byInterval = intervalSelect(lib, specs);
+  const auto byRules = ruleBasedSelect(lib, specs);
+  auto ruleRank = [&](const std::string& name) {
+    for (std::size_t i = 0; i < byRules.size(); ++i)
+      if (byRules[i].name == name) return i;
+    return byRules.size();
+  };
+
+  std::vector<Candidate> order;
+  for (const auto& c : byInterval)
+    if (c.feasible) order.push_back(c);
+  std::sort(order.begin(), order.end(), [&](const Candidate& a, const Candidate& b) {
+    return ruleRank(a.name) < ruleRank(b.name);
+  });
+  result.consideredOrder = order;
+
+  for (const auto& c : order) {
+    const auto& entry = lib.byName(c.name);
+    const auto res = sizing::synthesize(*entry.model, specs, opts);
+    if (res.feasible) {
+      result.success = true;
+      result.topology = c.name;
+      result.sizing = res;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace amsyn::topology

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "topology/genetic.hpp"
+#include "topology/joint.hpp"
+#include "topology/library.hpp"
+#include "topology/select.hpp"
+
+namespace tp = amsyn::topology;
+namespace sz = amsyn::sizing;
+namespace ckt = amsyn::circuit;
+
+namespace {
+const ckt::Process& proc() { return ckt::defaultProcess(); }
+
+const tp::TopologyLibrary& lib() {
+  static const tp::TopologyLibrary l = tp::amplifierLibrary(proc(), 5e-12);
+  return l;
+}
+
+sz::SpecSet highGainSpecs() {
+  sz::SpecSet s;
+  s.atLeast("gain_db", 70.0).atLeast("ugf", 3e6).atLeast("pm", 55.0).minimize("power", 0.5,
+                                                                              1e-3);
+  return s;
+}
+
+sz::SpecSet lowGainFastSpecs() {
+  sz::SpecSet s;
+  s.atLeast("gain_db", 35.0).atLeast("ugf", 3e7).minimize("power", 1.0, 1e-3);
+  return s;
+}
+}  // namespace
+
+TEST(Library, HasBothAmplifiers) {
+  EXPECT_EQ(lib().size(), 2u);
+  EXPECT_NO_THROW(lib().byName("five-transistor-ota"));
+  EXPECT_NO_THROW(lib().byName("two-stage-miller"));
+  EXPECT_THROW(lib().byName("folded-cascode"), std::out_of_range);
+}
+
+TEST(Library, BoundsContainKnownAchievablePoints) {
+  const auto& ts = lib().byName("two-stage-miller");
+  // A mid-box design point's performance must fall inside the bounds.
+  const auto perf = ts.model->evaluate(ts.model->initialPoint());
+  for (const auto& [k, v] : perf) {
+    ASSERT_TRUE(ts.bounds.count(k)) << k;
+    EXPECT_TRUE(ts.bounds.at(k).contains(v))
+        << k << "=" << v << " not in [" << ts.bounds.at(k).lo() << ", "
+        << ts.bounds.at(k).hi() << "]";
+  }
+}
+
+TEST(RuleBased, PrefersTwoStageForHighGain) {
+  const auto ranked = tp::ruleBasedSelect(lib(), highGainSpecs());
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].name, "two-stage-miller");
+  EXPECT_FALSE(ranked[0].reasons.empty());
+}
+
+TEST(RuleBased, PrefersOtaForLowGainFast) {
+  const auto ranked = tp::ruleBasedSelect(lib(), lowGainFastSpecs());
+  EXPECT_EQ(ranked[0].name, "five-transistor-ota");
+}
+
+TEST(IntervalCheck, RejectsOtaForHighGain) {
+  // 70 dB is provably outside the single-stage OTA's achievable gain range.
+  const auto verdicts = tp::intervalSelect(lib(), highGainSpecs());
+  bool otaRejected = false;
+  for (const auto& c : verdicts)
+    if (c.name == "five-transistor-ota") otaRejected = !c.feasible;
+  EXPECT_TRUE(otaRejected);
+}
+
+TEST(IntervalCheck, KeepsBothForModestSpecs) {
+  sz::SpecSet s;
+  s.atLeast("gain_db", 35.0).atLeast("ugf", 1e6);
+  const auto verdicts = tp::intervalSelect(lib(), s);
+  for (const auto& c : verdicts) EXPECT_TRUE(c.feasible) << c.name;
+}
+
+TEST(IntervalCheck, RejectsImpossibleSpecEverywhere) {
+  sz::SpecSet s;
+  s.atLeast("gain_db", 300.0);  // beyond any amplifier here
+  const auto verdicts = tp::intervalSelect(lib(), s);
+  for (const auto& c : verdicts) EXPECT_FALSE(c.feasible) << c.name;
+}
+
+TEST(SelectAndSize, PicksAndSizesTwoStageForHighGain) {
+  sz::SynthesisOptions opts;
+  opts.seed = 7;
+  const auto res = tp::selectAndSize(lib(), highGainSpecs(), opts);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.topology, "two-stage-miller");
+  EXPECT_TRUE(res.sizing.feasible);
+  EXPECT_GE(res.sizing.performance.at("gain_db"), 70.0 - 0.1);
+  // The OTA must not even have been attempted (interval-rejected).
+  for (const auto& c : res.consideredOrder) EXPECT_NE(c.name, "five-transistor-ota");
+}
+
+TEST(Genetic, ConvergesToFeasibleDesign) {
+  tp::GeneticOptions opts;
+  opts.seed = 13;
+  const auto res = tp::geneticSelectAndSize(lib(), highGainSpecs(), opts);
+  EXPECT_TRUE(res.feasible) << "best cost " << res.cost;
+  EXPECT_EQ(res.topology, "two-stage-miller");
+  EXPECT_GT(res.evaluations, 100u);
+}
+
+TEST(Genetic, PopulationMigratesToWinningTopology) {
+  tp::GeneticOptions opts;
+  opts.seed = 17;
+  const auto res = tp::geneticSelectAndSize(lib(), highGainSpecs(), opts);
+  // Selection pressure: most of the final population sits on the topology
+  // that can actually meet the specs.
+  ASSERT_TRUE(res.populationShare.count("two-stage-miller"));
+  EXPECT_GT(res.populationShare.at("two-stage-miller"), 0.5);
+}
+
+TEST(Joint, AnnealerFindsFeasibleTopologyAndSizing) {
+  tp::JointOptions opts;
+  opts.seed = 23;
+  const auto res = tp::jointSelectAndSize(lib(), highGainSpecs(), opts);
+  EXPECT_TRUE(res.feasible) << "cost " << res.cost;
+  EXPECT_EQ(res.topology, "two-stage-miller");
+}
+
+TEST(Joint, LowGainSpecsCanKeepTheOta) {
+  tp::JointOptions opts;
+  opts.seed = 29;
+  const auto res = tp::jointSelectAndSize(lib(), lowGainFastSpecs(), opts);
+  EXPECT_TRUE(res.feasible);
+  // Either topology can meet these specs; the result must at least be valid.
+  EXPECT_GE(res.performance.at("gain_db"), 35.0 * 0.999);
+}
