@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_corners.dir/bench_claim_corners.cpp.o"
+  "CMakeFiles/bench_claim_corners.dir/bench_claim_corners.cpp.o.d"
+  "bench_claim_corners"
+  "bench_claim_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_coupling.dir/bench_claim_coupling.cpp.o"
+  "CMakeFiles/bench_claim_coupling.dir/bench_claim_coupling.cpp.o.d"
+  "bench_claim_coupling"
+  "bench_claim_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_eval_speed.dir/bench_claim_eval_speed.cpp.o"
+  "CMakeFiles/bench_claim_eval_speed.dir/bench_claim_eval_speed.cpp.o.d"
+  "bench_claim_eval_speed"
+  "bench_claim_eval_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_eval_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

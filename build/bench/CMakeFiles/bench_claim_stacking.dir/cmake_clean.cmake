@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_stacking.dir/bench_claim_stacking.cpp.o"
+  "CMakeFiles/bench_claim_stacking.dir/bench_claim_stacking.cpp.o.d"
+  "bench_claim_stacking"
+  "bench_claim_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cell_layouts.dir/bench_fig2_cell_layouts.cpp.o"
+  "CMakeFiles/bench_fig2_cell_layouts.dir/bench_fig2_cell_layouts.cpp.o.d"
+  "bench_fig2_cell_layouts"
+  "bench_fig2_cell_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cell_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pulse_detector.dir/bench_table1_pulse_detector.cpp.o"
+  "CMakeFiles/bench_table1_pulse_detector.dir/bench_table1_pulse_detector.cpp.o.d"
+  "bench_table1_pulse_detector"
+  "bench_table1_pulse_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pulse_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_signal_chip.dir/mixed_signal_chip.cpp.o"
+  "CMakeFiles/mixed_signal_chip.dir/mixed_signal_chip.cpp.o.d"
+  "mixed_signal_chip"
+  "mixed_signal_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_signal_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_detector.dir/pulse_detector.cpp.o"
+  "CMakeFiles/pulse_detector.dir/pulse_detector.cpp.o.d"
+  "pulse_detector"
+  "pulse_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

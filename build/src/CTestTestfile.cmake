@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("numeric")
+subdirs("geom")
+subdirs("circuit")
+subdirs("sim")
+subdirs("awe")
+subdirs("symbolic")
+subdirs("sizing")
+subdirs("knowledge")
+subdirs("topology")
+subdirs("manufacture")
+subdirs("layout")
+subdirs("power")
+subdirs("extract")
+subdirs("core")

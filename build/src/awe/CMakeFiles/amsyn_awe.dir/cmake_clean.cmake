@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_awe.dir/awe.cpp.o"
+  "CMakeFiles/amsyn_awe.dir/awe.cpp.o.d"
+  "libamsyn_awe.a"
+  "libamsyn_awe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_awe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/mosmodel.cpp" "src/circuit/CMakeFiles/amsyn_circuit.dir/mosmodel.cpp.o" "gcc" "src/circuit/CMakeFiles/amsyn_circuit.dir/mosmodel.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/amsyn_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/amsyn_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/circuit/CMakeFiles/amsyn_circuit.dir/parser.cpp.o" "gcc" "src/circuit/CMakeFiles/amsyn_circuit.dir/parser.cpp.o.d"
+  "/root/repo/src/circuit/process.cpp" "src/circuit/CMakeFiles/amsyn_circuit.dir/process.cpp.o" "gcc" "src/circuit/CMakeFiles/amsyn_circuit.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_circuit.dir/mosmodel.cpp.o"
+  "CMakeFiles/amsyn_circuit.dir/mosmodel.cpp.o.d"
+  "CMakeFiles/amsyn_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/amsyn_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/amsyn_circuit.dir/parser.cpp.o"
+  "CMakeFiles/amsyn_circuit.dir/parser.cpp.o.d"
+  "CMakeFiles/amsyn_circuit.dir/process.cpp.o"
+  "CMakeFiles/amsyn_circuit.dir/process.cpp.o.d"
+  "libamsyn_circuit.a"
+  "libamsyn_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

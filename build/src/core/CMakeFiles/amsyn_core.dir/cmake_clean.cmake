@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_core.dir/assemble.cpp.o"
+  "CMakeFiles/amsyn_core.dir/assemble.cpp.o.d"
+  "CMakeFiles/amsyn_core.dir/celllayout.cpp.o"
+  "CMakeFiles/amsyn_core.dir/celllayout.cpp.o.d"
+  "CMakeFiles/amsyn_core.dir/flow.cpp.o"
+  "CMakeFiles/amsyn_core.dir/flow.cpp.o.d"
+  "CMakeFiles/amsyn_core.dir/report.cpp.o"
+  "CMakeFiles/amsyn_core.dir/report.cpp.o.d"
+  "libamsyn_core.a"
+  "libamsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

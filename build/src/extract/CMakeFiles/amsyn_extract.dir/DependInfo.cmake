@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/extract.cpp" "src/extract/CMakeFiles/amsyn_extract.dir/extract.cpp.o" "gcc" "src/extract/CMakeFiles/amsyn_extract.dir/extract.cpp.o.d"
+  "/root/repo/src/extract/matchgen.cpp" "src/extract/CMakeFiles/amsyn_extract.dir/matchgen.cpp.o" "gcc" "src/extract/CMakeFiles/amsyn_extract.dir/matchgen.cpp.o.d"
+  "/root/repo/src/extract/sens.cpp" "src/extract/CMakeFiles/amsyn_extract.dir/sens.cpp.o" "gcc" "src/extract/CMakeFiles/amsyn_extract.dir/sens.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/amsyn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_extract.dir/extract.cpp.o"
+  "CMakeFiles/amsyn_extract.dir/extract.cpp.o.d"
+  "CMakeFiles/amsyn_extract.dir/matchgen.cpp.o"
+  "CMakeFiles/amsyn_extract.dir/matchgen.cpp.o.d"
+  "CMakeFiles/amsyn_extract.dir/sens.cpp.o"
+  "CMakeFiles/amsyn_extract.dir/sens.cpp.o.d"
+  "libamsyn_extract.a"
+  "libamsyn_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

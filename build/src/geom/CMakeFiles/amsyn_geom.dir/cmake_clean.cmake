@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_geom.dir/layout.cpp.o"
+  "CMakeFiles/amsyn_geom.dir/layout.cpp.o.d"
+  "CMakeFiles/amsyn_geom.dir/rect.cpp.o"
+  "CMakeFiles/amsyn_geom.dir/rect.cpp.o.d"
+  "CMakeFiles/amsyn_geom.dir/transform.cpp.o"
+  "CMakeFiles/amsyn_geom.dir/transform.cpp.o.d"
+  "libamsyn_geom.a"
+  "libamsyn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_knowledge.dir/opamp_plans.cpp.o"
+  "CMakeFiles/amsyn_knowledge.dir/opamp_plans.cpp.o.d"
+  "CMakeFiles/amsyn_knowledge.dir/plan.cpp.o"
+  "CMakeFiles/amsyn_knowledge.dir/plan.cpp.o.d"
+  "CMakeFiles/amsyn_knowledge.dir/pulse_plan.cpp.o"
+  "CMakeFiles/amsyn_knowledge.dir/pulse_plan.cpp.o.d"
+  "libamsyn_knowledge.a"
+  "libamsyn_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/cell/drc.cpp" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/drc.cpp.o" "gcc" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/cell/modgen.cpp" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/modgen.cpp.o" "gcc" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/modgen.cpp.o.d"
+  "/root/repo/src/layout/cell/place.cpp" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/place.cpp.o" "gcc" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/place.cpp.o.d"
+  "/root/repo/src/layout/cell/route.cpp" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/route.cpp.o" "gcc" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/route.cpp.o.d"
+  "/root/repo/src/layout/cell/stack.cpp" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/stack.cpp.o" "gcc" "src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/amsyn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

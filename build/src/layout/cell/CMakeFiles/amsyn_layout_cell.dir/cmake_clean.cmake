@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_layout_cell.dir/drc.cpp.o"
+  "CMakeFiles/amsyn_layout_cell.dir/drc.cpp.o.d"
+  "CMakeFiles/amsyn_layout_cell.dir/modgen.cpp.o"
+  "CMakeFiles/amsyn_layout_cell.dir/modgen.cpp.o.d"
+  "CMakeFiles/amsyn_layout_cell.dir/place.cpp.o"
+  "CMakeFiles/amsyn_layout_cell.dir/place.cpp.o.d"
+  "CMakeFiles/amsyn_layout_cell.dir/route.cpp.o"
+  "CMakeFiles/amsyn_layout_cell.dir/route.cpp.o.d"
+  "CMakeFiles/amsyn_layout_cell.dir/stack.cpp.o"
+  "CMakeFiles/amsyn_layout_cell.dir/stack.cpp.o.d"
+  "libamsyn_layout_cell.a"
+  "libamsyn_layout_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_layout_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

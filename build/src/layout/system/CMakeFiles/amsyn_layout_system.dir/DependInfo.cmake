@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/system/channel.cpp" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/channel.cpp.o" "gcc" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/channel.cpp.o.d"
+  "/root/repo/src/layout/system/floorplan.cpp" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/floorplan.cpp.o" "gcc" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/floorplan.cpp.o.d"
+  "/root/repo/src/layout/system/segregate.cpp" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/segregate.cpp.o" "gcc" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/segregate.cpp.o.d"
+  "/root/repo/src/layout/system/wren.cpp" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/wren.cpp.o" "gcc" "src/layout/system/CMakeFiles/amsyn_layout_system.dir/wren.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/amsyn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/cell/CMakeFiles/amsyn_layout_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_layout_system.dir/channel.cpp.o"
+  "CMakeFiles/amsyn_layout_system.dir/channel.cpp.o.d"
+  "CMakeFiles/amsyn_layout_system.dir/floorplan.cpp.o"
+  "CMakeFiles/amsyn_layout_system.dir/floorplan.cpp.o.d"
+  "CMakeFiles/amsyn_layout_system.dir/segregate.cpp.o"
+  "CMakeFiles/amsyn_layout_system.dir/segregate.cpp.o.d"
+  "CMakeFiles/amsyn_layout_system.dir/wren.cpp.o"
+  "CMakeFiles/amsyn_layout_system.dir/wren.cpp.o.d"
+  "libamsyn_layout_system.a"
+  "libamsyn_layout_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_layout_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_manufacture.dir/corners.cpp.o"
+  "CMakeFiles/amsyn_manufacture.dir/corners.cpp.o.d"
+  "CMakeFiles/amsyn_manufacture.dir/yield.cpp.o"
+  "CMakeFiles/amsyn_manufacture.dir/yield.cpp.o.d"
+  "libamsyn_manufacture.a"
+  "libamsyn_manufacture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_manufacture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for amsyn_manufacture.
+# This may be replaced when dependencies are built.

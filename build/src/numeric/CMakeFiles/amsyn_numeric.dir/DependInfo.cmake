@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/anneal.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/anneal.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/anneal.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/numeric/optimize.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/optimize.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/optimize.cpp.o.d"
+  "/root/repo/src/numeric/pade.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/pade.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/pade.cpp.o.d"
+  "/root/repo/src/numeric/polynomial.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/polynomial.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/polynomial.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/sparse.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/sparse.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/amsyn_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/amsyn_numeric.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_numeric.dir/anneal.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/anneal.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/optimize.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/optimize.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/pade.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/pade.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/polynomial.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/polynomial.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/sparse.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/sparse.cpp.o.d"
+  "CMakeFiles/amsyn_numeric.dir/stats.cpp.o"
+  "CMakeFiles/amsyn_numeric.dir/stats.cpp.o.d"
+  "libamsyn_numeric.a"
+  "libamsyn_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamsyn_numeric.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_power.dir/grid.cpp.o"
+  "CMakeFiles/amsyn_power.dir/grid.cpp.o.d"
+  "CMakeFiles/amsyn_power.dir/rail.cpp.o"
+  "CMakeFiles/amsyn_power.dir/rail.cpp.o.d"
+  "libamsyn_power.a"
+  "libamsyn_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/ac.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/ac.cpp.o.d"
+  "/root/repo/src/sim/dc.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/dc.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/dc.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/measure.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/measure.cpp.o.d"
+  "/root/repo/src/sim/mna.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/mna.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/mna.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/amsyn_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/amsyn_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

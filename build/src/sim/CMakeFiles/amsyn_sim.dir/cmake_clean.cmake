@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_sim.dir/ac.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/ac.cpp.o.d"
+  "CMakeFiles/amsyn_sim.dir/dc.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/dc.cpp.o.d"
+  "CMakeFiles/amsyn_sim.dir/measure.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/measure.cpp.o.d"
+  "CMakeFiles/amsyn_sim.dir/mna.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/mna.cpp.o.d"
+  "CMakeFiles/amsyn_sim.dir/noise.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/amsyn_sim.dir/transient.cpp.o"
+  "CMakeFiles/amsyn_sim.dir/transient.cpp.o.d"
+  "libamsyn_sim.a"
+  "libamsyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sizing/cost.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/cost.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/cost.cpp.o.d"
+  "/root/repo/src/sizing/database.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/database.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/database.cpp.o.d"
+  "/root/repo/src/sizing/eqmodel.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/eqmodel.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/eqmodel.cpp.o.d"
+  "/root/repo/src/sizing/opamp.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/opamp.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/opamp.cpp.o.d"
+  "/root/repo/src/sizing/pulse.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/pulse.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/pulse.cpp.o.d"
+  "/root/repo/src/sizing/relaxed.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/relaxed.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/relaxed.cpp.o.d"
+  "/root/repo/src/sizing/simmodel.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/simmodel.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/simmodel.cpp.o.d"
+  "/root/repo/src/sizing/spec.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/spec.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/spec.cpp.o.d"
+  "/root/repo/src/sizing/synth.cpp" "src/sizing/CMakeFiles/amsyn_sizing.dir/synth.cpp.o" "gcc" "src/sizing/CMakeFiles/amsyn_sizing.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/amsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/awe/CMakeFiles/amsyn_awe.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_sizing.dir/cost.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/cost.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/database.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/database.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/eqmodel.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/eqmodel.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/opamp.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/opamp.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/pulse.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/pulse.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/relaxed.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/relaxed.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/simmodel.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/simmodel.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/spec.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/spec.cpp.o.d"
+  "CMakeFiles/amsyn_sizing.dir/synth.cpp.o"
+  "CMakeFiles/amsyn_sizing.dir/synth.cpp.o.d"
+  "libamsyn_sizing.a"
+  "libamsyn_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

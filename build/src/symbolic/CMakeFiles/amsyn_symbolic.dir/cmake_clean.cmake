@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_symbolic.dir/analyze.cpp.o"
+  "CMakeFiles/amsyn_symbolic.dir/analyze.cpp.o.d"
+  "CMakeFiles/amsyn_symbolic.dir/linearize.cpp.o"
+  "CMakeFiles/amsyn_symbolic.dir/linearize.cpp.o.d"
+  "CMakeFiles/amsyn_symbolic.dir/sympoly.cpp.o"
+  "CMakeFiles/amsyn_symbolic.dir/sympoly.cpp.o.d"
+  "libamsyn_symbolic.a"
+  "libamsyn_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

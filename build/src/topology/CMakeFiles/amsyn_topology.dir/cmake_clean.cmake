@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amsyn_topology.dir/genetic.cpp.o"
+  "CMakeFiles/amsyn_topology.dir/genetic.cpp.o.d"
+  "CMakeFiles/amsyn_topology.dir/joint.cpp.o"
+  "CMakeFiles/amsyn_topology.dir/joint.cpp.o.d"
+  "CMakeFiles/amsyn_topology.dir/library.cpp.o"
+  "CMakeFiles/amsyn_topology.dir/library.cpp.o.d"
+  "CMakeFiles/amsyn_topology.dir/select.cpp.o"
+  "CMakeFiles/amsyn_topology.dir/select.cpp.o.d"
+  "libamsyn_topology.a"
+  "libamsyn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amsyn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

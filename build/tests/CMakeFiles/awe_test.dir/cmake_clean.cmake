@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awe_test.dir/awe_test.cpp.o"
+  "CMakeFiles/awe_test.dir/awe_test.cpp.o.d"
+  "awe_test"
+  "awe_test.pdb"
+  "awe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_cell_test.dir/layout_cell_test.cpp.o"
+  "CMakeFiles/layout_cell_test.dir/layout_cell_test.cpp.o.d"
+  "layout_cell_test"
+  "layout_cell_test.pdb"
+  "layout_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_system_test.dir/layout_system_test.cpp.o"
+  "CMakeFiles/layout_system_test.dir/layout_system_test.cpp.o.d"
+  "layout_system_test"
+  "layout_system_test.pdb"
+  "layout_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacture_test.dir/manufacture_test.cpp.o"
+  "CMakeFiles/manufacture_test.dir/manufacture_test.cpp.o.d"
+  "manufacture_test"
+  "manufacture_test.pdb"
+  "manufacture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

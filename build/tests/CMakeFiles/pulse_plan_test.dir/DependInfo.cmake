@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pulse_plan_test.cpp" "tests/CMakeFiles/pulse_plan_test.dir/pulse_plan_test.cpp.o" "gcc" "tests/CMakeFiles/pulse_plan_test.dir/pulse_plan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knowledge/CMakeFiles/amsyn_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/amsyn_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/awe/CMakeFiles/amsyn_awe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/amsyn_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/amsyn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_plan_test.dir/pulse_plan_test.cpp.o"
+  "CMakeFiles/pulse_plan_test.dir/pulse_plan_test.cpp.o.d"
+  "pulse_plan_test"
+  "pulse_plan_test.pdb"
+  "pulse_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_test.dir/pulse_test.cpp.o"
+  "CMakeFiles/pulse_test.dir/pulse_test.cpp.o.d"
+  "pulse_test"
+  "pulse_test.pdb"
+  "pulse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

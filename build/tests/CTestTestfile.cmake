@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/numeric_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/awe_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/sizing_test[1]_include.cmake")
+include("/root/repo/build/tests/knowledge_test[1]_include.cmake")
+include("/root/repo/build/tests/pulse_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/manufacture_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_system_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pulse_plan_test[1]_include.cmake")
