@@ -9,9 +9,13 @@
 // robust one survives.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
+#include "core/parallel.hpp"
 #include "core/report.hpp"
+#include "core/threadpool.hpp"
 #include "manufacture/corners.hpp"
 #include "manufacture/yield.hpp"
 #include "sizing/eqmodel.hpp"
@@ -87,6 +91,55 @@ void printClaim() {
             << core::Table::num(yRob.yield.estimate * 100) << "%\n\n";
 }
 
+/// Machine-readable scaling record: the identical corner-aware synthesis at
+/// one thread and at the configured pool width.  The parallel loops are
+/// deterministic by construction, so besides the timings we record whether
+/// the two runs really did produce the same design.
+void writeJson() {
+  const auto specs = robustSpecs();
+  manufacture::VariationSpace space;
+  manufacture::RobustOptions opts;
+  opts.synthesis.seed = 19;
+
+  struct TimedRun {
+    double seconds = 0.0;
+    manufacture::RobustResult res;
+  };
+  auto timedRun = [&](std::size_t threads) {
+    core::ScopedThreadPool scoped(threads);
+    TimedRun r;
+    const auto t0 = std::chrono::steady_clock::now();
+    r.res = manufacture::robustSynthesize(factory(), nominalProc(), space, specs, opts);
+    r.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return r;
+  };
+
+  const std::size_t threads =
+      std::max<std::size_t>(2, core::ThreadPool::configuredThreads());
+  const TimedRun serial = timedRun(1);
+  const TimedRun parallel = timedRun(threads);
+  const bool identical = serial.res.robust.x == parallel.res.robust.x &&
+                         serial.res.robust.cost == parallel.res.robust.cost &&
+                         serial.res.activeCorners == parallel.res.activeCorners;
+
+  std::ofstream out("BENCH_corners.json");
+  out << "{\n"
+      << "  \"benchmark\": \"corner_aware_synthesis\",\n"
+      << "  \"seconds_1_thread\": " << serial.seconds << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"seconds_n_threads\": " << parallel.seconds << ",\n"
+      << "  \"speedup\": " << serial.seconds / std::max(parallel.seconds, 1e-12) << ",\n"
+      << "  \"results_bit_identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"robust_evaluations\": " << parallel.res.robustEvaluations << ",\n"
+      << "  \"nominal_evaluations\": " << parallel.res.nominalEvaluations << ",\n"
+      << "  \"active_corners\": " << parallel.res.activeCorners << "\n"
+      << "}\n";
+  std::cout << "wrote BENCH_corners.json: " << serial.seconds << " s at 1 thread, "
+            << parallel.seconds << " s at " << threads
+            << " threads, identical=" << (identical ? "yes" : "NO") << "\n\n";
+}
+
 void BM_NominalSynthesis(benchmark::State& state) {
   const auto specs = robustSpecs();
   std::uint64_t seed = 1;
@@ -118,6 +171,7 @@ BENCHMARK(BM_RobustSynthesis)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 int main(int argc, char** argv) {
   printClaim();
+  writeJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

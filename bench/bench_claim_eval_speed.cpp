@@ -12,9 +12,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
+#include "core/parallel.hpp"
 #include "core/report.hpp"
+#include "core/threadpool.hpp"
 #include "sizing/eqmodel.hpp"
 #include "sizing/relaxed.hpp"
 #include "sizing/simmodel.hpp"
@@ -70,6 +73,56 @@ void printClaim() {
                "ASTRX/OBLX middle road practical inside an annealer.\n\n";
 }
 
+/// Machine-readable record: microseconds per evaluation for each evaluator,
+/// plus the wall time of a batched evaluation sweep (the shape every parallel
+/// loop in amsyn reduces to) at one thread and at the configured pool width.
+void writeJson() {
+  const auto& proc = circuit::defaultProcess();
+
+  sizing::TwoStageEquationModel eqModel(proc, 5e-12);
+  const auto xEq = eqModel.initialPoint();
+  auto relaxedTmpl = sizing::twoStageTemplate(proc, {});
+  sizing::RelaxedDcModel relaxedModel(std::move(relaxedTmpl), proc);
+  const auto xRelaxed = relaxedModel.initialPoint();
+  auto simTmpl = sizing::twoStageTemplate(proc, {});
+  sizing::SimulationModel simModel(std::move(simTmpl), proc);
+  const std::vector<double> xSim = {60e-6, 20e-6, 20e-6, 150e-6, 60e-6, 3e-12, 20e-6};
+
+  const double usEq = microsecondsPerCall([&] { eqModel.evaluate(xEq); }, 2000);
+  const double usRelaxed =
+      microsecondsPerCall([&] { relaxedModel.evaluate(xRelaxed); }, 50);
+  const double usSim = microsecondsPerCall([&] { simModel.evaluate(xSim); }, 10);
+
+  // Batched sweep: the relaxed-dc evaluator is stateless, so a fixed batch
+  // can be scored concurrently — identical work at any thread count.
+  constexpr std::size_t kBatch = 64;
+  auto batchSeconds = [&](std::size_t threads) {
+    core::ScopedThreadPool scoped(threads);
+    const auto t0 = Clock::now();
+    core::parallelFor(kBatch, [&](std::size_t) { relaxedModel.evaluate(xRelaxed); });
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const std::size_t threads =
+      std::max<std::size_t>(2, core::ThreadPool::configuredThreads());
+  const double s1 = batchSeconds(1);
+  const double sn = batchSeconds(threads);
+
+  std::ofstream out("BENCH_eval_speed.json");
+  out << "{\n"
+      << "  \"benchmark\": \"evaluation_speed\",\n"
+      << "  \"us_per_eval_equations\": " << usEq << ",\n"
+      << "  \"us_per_eval_relaxed_awe\": " << usRelaxed << ",\n"
+      << "  \"us_per_eval_full_simulation\": " << usSim << ",\n"
+      << "  \"batch_size\": " << kBatch << ",\n"
+      << "  \"batch_seconds_1_thread\": " << s1 << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"batch_seconds_n_threads\": " << sn << ",\n"
+      << "  \"batch_speedup\": " << s1 / std::max(sn, 1e-12) << "\n"
+      << "}\n";
+  std::cout << "wrote BENCH_eval_speed.json: batch of " << kBatch << " relaxed-dc evals "
+            << s1 << " s at 1 thread, " << sn << " s at " << threads << " threads\n\n";
+}
+
 void BM_EquationEval(benchmark::State& state) {
   const auto& proc = circuit::defaultProcess();
   sizing::TwoStageEquationModel model(proc, 5e-12);
@@ -109,6 +162,7 @@ BENCHMARK(BM_FullSimulationEval)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   printClaim();
+  writeJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

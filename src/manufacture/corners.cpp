@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.hpp"
 #include "numeric/optimize.hpp"
 
 namespace amsyn::manufacture {
@@ -61,17 +62,25 @@ WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process&
   };
 
   // Stage 1: enumerate the 2^6 box vertices (worst cases of quasi-monotone
-  // circuit responses live at vertices).
+  // circuit responses live at vertices) — concurrently, one model per
+  // vertex.  The reduction scans in mask order with a strict <, so the
+  // winner is identical to the serial loop's at any thread count.
+  constexpr std::size_t kVertices = std::size_t{1} << VariationSpace::kDims;
+  const std::vector<double> vertexMargins =
+      core::parallelMap(kVertices, [&](std::size_t mask) {
+        std::vector<double> c(VariationSpace::kDims);
+        for (std::size_t i = 0; i < VariationSpace::kDims; ++i)
+          c[i] = (mask >> i) & 1u ? 1.0 : 0.0;
+        return marginAt(c);
+      });
   WorstCorner worst;
   worst.margin = std::numeric_limits<double>::infinity();
-  for (std::uint32_t mask = 0; mask < (1u << VariationSpace::kDims); ++mask) {
-    std::vector<double> c(VariationSpace::kDims);
-    for (std::size_t i = 0; i < VariationSpace::kDims; ++i)
-      c[i] = (mask >> i) & 1u ? 1.0 : 0.0;
-    const double m = marginAt(c);
-    if (m < worst.margin) {
-      worst.margin = m;
-      worst.corner = std::move(c);
+  for (std::size_t mask = 0; mask < kVertices; ++mask) {
+    if (vertexMargins[mask] < worst.margin) {
+      worst.margin = vertexMargins[mask];
+      worst.corner.assign(VariationSpace::kDims, 0.0);
+      for (std::size_t i = 0; i < VariationSpace::kDims; ++i)
+        worst.corner[i] = (mask >> i) & 1u ? 1.0 : 0.0;
     }
   }
 
@@ -118,9 +127,23 @@ class CornerSetModel : public sizing::PerformanceModel {
   }
 
   sizing::Performance evaluate(const std::vector<double>& x) const override {
-    sizing::Performance agg = models_.front()->evaluate(x);
+    // Evaluate every corner model concurrently (each is a distinct object,
+    // so no shared mutable state), then aggregate in corner order — the
+    // min/max reduction is order-independent anyway, but keeping a fixed
+    // order costs nothing and keeps floating-point identity trivial.
+    // Small sets stay serial: the pool round-trip would dominate the
+    // microsecond equation models.
+    std::vector<sizing::Performance> perfs;
+    if (models_.size() >= 4) {
+      perfs = core::parallelMap(models_.size(),
+                                [&](std::size_t k) { return models_[k]->evaluate(x); });
+    } else {
+      perfs.reserve(models_.size());
+      for (const auto& m : models_) perfs.push_back(m->evaluate(x));
+    }
+    sizing::Performance agg = perfs.front();
     for (std::size_t k = 1; k < models_.size(); ++k) {
-      const auto perf = models_[k]->evaluate(x);
+      const auto& perf = perfs[k];
       for (const auto& spec : specs_.specs()) {
         if (spec.isObjective()) continue;
         auto it = perf.find(spec.performance);
@@ -162,13 +185,22 @@ RobustResult robustSynthesize(const ModelFactory& factory, const circuit::Proces
   sizing::SynthesisResult current = result.nominal;
   double robustEvals = result.nominalEvaluations;
 
+  // Constraint specs, hunted concurrently each round (worstCaseCorner
+  // itself fans its vertex enumeration out on the same pool).
+  std::vector<const Spec*> constraintSpecs;
+  for (const auto& spec : specs.specs())
+    if (!spec.isObjective()) constraintSpecs.push_back(&spec);
+
   for (std::size_t round = 0; round < opts.maxRounds; ++round) {
     ++result.rounds;
-    // Hunt a worst corner per constraint spec at the current design.
+    // Hunt a worst corner per constraint spec at the current design; append
+    // violated corners in spec order so the accumulated set (and therefore
+    // the re-synthesis) is independent of scheduling.
+    const auto hunts = core::parallelMap(constraintSpecs.size(), [&](std::size_t i) {
+      return worstCaseCorner(factory, nominal, space, current.x, *constraintSpecs[i]);
+    });
     bool addedCorner = false;
-    for (const auto& spec : specs.specs()) {
-      if (spec.isObjective()) continue;
-      const auto wc = worstCaseCorner(factory, nominal, space, current.x, spec);
+    for (const auto& wc : hunts) {
       robustEvals += 64 + 80;  // vertex enumeration + refinement budget
       if (wc.margin < 0.0) {
         corners.push_back(wc.corner);
@@ -187,9 +219,10 @@ RobustResult robustSynthesize(const ModelFactory& factory, const circuit::Proces
 
   // Final verdict: check every spec's worst corner at the final design.
   result.robustFeasibleAtCorners = current.feasible;
-  for (const auto& spec : specs.specs()) {
-    if (spec.isObjective()) continue;
-    const auto wc = worstCaseCorner(factory, nominal, space, current.x, spec);
+  const auto audit = core::parallelMap(constraintSpecs.size(), [&](std::size_t i) {
+    return worstCaseCorner(factory, nominal, space, current.x, *constraintSpecs[i]);
+  });
+  for (const auto& wc : audit) {
     robustEvals += 64 + 80;
     if (wc.margin < -1e-3) result.robustFeasibleAtCorners = false;
   }

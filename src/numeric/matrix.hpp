@@ -32,6 +32,11 @@ class Matrix {
   /// Set every entry to zero (keeps the shape).
   void setZero() { data_.assign(data_.size(), T{}); }
 
+  /// Row-major storage, for value-identity checks (LU-reuse caches compare
+  /// a freshly assembled matrix against the one behind a cached
+  /// factorization).
+  const std::vector<T>& data() const { return data_; }
+
   /// Identity of size n.
   static Matrix identity(std::size_t n) {
     Matrix m(n, n);

@@ -1,6 +1,9 @@
 // Deterministic random-number utility shared by every stochastic tool in
 // amsyn (annealers, genetic search, Monte-Carlo yield).  One seeded engine
-// per tool run keeps experiments reproducible.
+// per tool run keeps experiments reproducible.  Parallel callers derive one
+// independent stream per task via split()/streamSeed() instead of sharing a
+// generator: sharing would race, and even a locked shared engine would make
+// results depend on scheduling order.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +13,30 @@ namespace amsyn::num {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : eng_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed), eng_(seed) {}
+
+  /// Construct directly on stream `stream` of `seed` (see split()).
+  Rng(std::uint64_t seed, std::uint64_t stream) : Rng(streamSeed(seed, stream)) {}
+
+  /// Seed of the independent sub-stream `stream` of `seed`: SplitMix64
+  /// finalizer over the pair, so streams 0, 1, 2, ... of one seed are
+  /// decorrelated from each other and from the parent.  A pure function of
+  /// (seed, stream) — results are bit-identical no matter which thread, in
+  /// which order, instantiates the stream.
+  static std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Independent generator for parallel task `stream`.  Derived from the
+  /// construction seed, not the current engine state, so the set of streams
+  /// a seed produces does not depend on how many draws happened in between.
+  Rng split(std::uint64_t stream) const { return Rng(streamSeed(seed_, stream)); }
+
+  /// The seed this generator was constructed with.
+  std::uint64_t seed() const { return seed_; }
 
   /// Uniform double in [0, 1).
   double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(eng_); }
@@ -42,6 +68,7 @@ class Rng {
   std::mt19937_64& engine() { return eng_; }
 
  private:
+  std::uint64_t seed_ = 0;
   std::mt19937_64 eng_;
 };
 

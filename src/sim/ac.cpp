@@ -3,7 +3,44 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/stats.hpp"
+
 namespace amsyn::sim {
+
+AcSolver::AcSolver(const Mna& mna, const DcResult& op) {
+  if (!op.converged) throw std::invalid_argument("AcSolver: operating point not converged");
+  mna.acMatrices(op.x, g_, c_, b_);
+  n_ = mna.size();
+}
+
+const num::LUC& AcSolver::factorAt(double frequency) {
+  if (lu_ && frequency == cachedFrequency_) {
+    ++simStats().luReuses;
+    return *lu_;
+  }
+  const double w = 2.0 * M_PI * frequency;
+  num::MatrixC a(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) a(i, j) = {g_(i, j), w * c_(i, j)};
+  lu_.emplace(std::move(a));
+  cachedFrequency_ = frequency;
+  ++simStats().luFactorizations;
+  return *lu_;
+}
+
+num::VecC AcSolver::solve(double frequency, const num::VecC& rhs) {
+  return factorAt(frequency).solve(rhs);
+}
+
+num::VecC AcSolver::solveTransposed(double frequency, const num::VecC& rhs) {
+  return factorAt(frequency).solveTransposed(rhs);
+}
+
+num::VecC AcSolver::stimulus() const {
+  num::VecC rhs(n_);
+  for (std::size_t i = 0; i < n_; ++i) rhs[i] = b_[i];
+  return rhs;
+}
 
 double AcSweep::magnitudeDb(std::size_t i) const {
   return 20.0 * std::log10(std::max(std::abs(points.at(i).value), 1e-30));
@@ -44,21 +81,13 @@ AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& output
   if (outIdx == static_cast<std::size_t>(-1))
     throw std::invalid_argument("acAnalysis: output is ground");
 
-  num::MatrixD g, c;
-  num::VecD b;
-  mna.acMatrices(op.x, g, c, b);
-  const std::size_t n = mna.size();
+  AcSolver solver(mna, op);
+  const num::VecC rhs = solver.stimulus();
 
   AcSweep sweep;
   sweep.points.reserve(frequencies.size());
   for (double f : frequencies) {
-    const double w = 2.0 * M_PI * f;
-    num::MatrixC a(n, n);
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) a(i, j) = {g(i, j), w * c(i, j)};
-    num::VecC rhs(n);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i];
-    const num::VecC x = num::LUC(std::move(a)).solve(rhs);
+    const num::VecC x = solver.solve(f, rhs);
     sweep.points.push_back({f, x[outIdx]});
   }
   return sweep;

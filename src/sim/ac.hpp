@@ -4,6 +4,7 @@
 #pragma once
 
 #include <complex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,38 @@ struct AcSweep {
 
 /// Logarithmic frequency grid.
 std::vector<double> logspace(double fStart, double fStop, std::size_t pointsPerDecade);
+
+/// Frequency-domain solver bound to one (netlist, operating point) pair.
+/// Holds the linearized (G, C, b) triple and caches the LU of
+/// A(w) = G + j w C, re-factoring only when the requested frequency differs
+/// from the cached one — A's values are a pure function of w once (G, C)
+/// are fixed.  Repeated spot analyses, the forward + adjoint solves of the
+/// noise analysis, and duplicate sweep points all share one factorization.
+/// Traffic is recorded in sim/stats.hpp.
+class AcSolver {
+ public:
+  AcSolver(const Mna& mna, const DcResult& op);
+
+  /// Solve A(w) x = rhs at frequency f (Hz).
+  num::VecC solve(double frequency, const num::VecC& rhs);
+
+  /// Solve A(w)^T x = rhs (adjoint analyses, e.g. noise).
+  num::VecC solveTransposed(double frequency, const num::VecC& rhs);
+
+  /// RHS built from the netlist's independent-source AC magnitudes.
+  num::VecC stimulus() const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  const num::LUC& factorAt(double frequency);
+
+  num::MatrixD g_, c_;
+  num::VecD b_;
+  std::size_t n_ = 0;
+  double cachedFrequency_ = 0.0;
+  std::optional<num::LUC> lu_;
+};
 
 /// AC sweep of the voltage at `outputNode`.  The stimulus is whatever AC
 /// magnitudes are present on the netlist's sources.

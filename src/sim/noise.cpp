@@ -4,6 +4,8 @@
 #include <complex>
 #include <stdexcept>
 
+#include "sim/ac.hpp"
+
 namespace amsyn::sim {
 
 using circuit::Device;
@@ -27,32 +29,25 @@ NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string&
     throw std::invalid_argument("noiseAnalysis: bad output node " + outputNode);
   const std::size_t outIdx = mna.nodeIndex(*outNode);
 
-  num::MatrixD g, c;
-  num::VecD b;
-  mna.acMatrices(op.x, g, c, b);
   const std::size_t n = mna.size();
   const auto mosOps = mna.mosOperatingPoints(op.x);
+  // One solver per analysis: the forward and adjoint solves at each
+  // frequency share a single LU factorization.
+  AcSolver solver(mna, op);
+  const num::VecC rhs = solver.stimulus();
 
   NoiseResult res;
   for (double f : frequencies) {
-    const double w = 2.0 * M_PI * f;
-    num::MatrixC a(n, n);
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) a(i, j) = {g(i, j), w * c(i, j)};
-    const num::LUC lu(std::move(a));
-
     // Forward solve: output phasor under the netlist's AC stimulus (for
     // input referral).
-    num::VecC rhs(n);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i];
-    const num::VecC xf = lu.solve(rhs);
+    const num::VecC xf = solver.solve(f, rhs);
     const double gainMag = std::abs(xf[outIdx]);
 
     // Adjoint solve: transfer from a unit current injected at any node pair
     // to the output voltage is (xa[a] - xa[b]).
     num::VecC e(n, std::complex<double>{0.0, 0.0});
     e[outIdx] = 1.0;
-    const num::VecC xa = lu.solveTransposed(e);
+    const num::VecC xa = solver.solveTransposed(f, e);
 
     auto h2 = [&](NodeId from, NodeId to) {
       std::complex<double> hv = 0.0;

@@ -1,0 +1,13 @@
+#include "sim/stats.hpp"
+
+namespace amsyn::sim {
+
+namespace {
+thread_local SimStats tlStats;
+}
+
+SimStats& simStats() { return tlStats; }
+
+void resetSimStats() { tlStats = SimStats{}; }
+
+}  // namespace amsyn::sim

@@ -1,0 +1,24 @@
+// Linear-solver traffic counters for the analyses in this module.  AC and
+// transient sweeps cache their LU factorization and re-factor only when the
+// matrix values change (sim/ac.cpp, sim/transient.cpp); these counters make
+// that observable — tests assert the factor/reuse split, benchmarks report
+// it.  Thread-local so concurrently running evaluations (core/parallel.hpp)
+// do not race; read the counters on the thread that ran the analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace amsyn::sim {
+
+struct SimStats {
+  std::uint64_t luFactorizations = 0;  ///< dense LU factorizations computed
+  std::uint64_t luReuses = 0;          ///< solves served from a cached factorization
+};
+
+/// Counters of the calling thread.
+SimStats& simStats();
+
+/// Zero the calling thread's counters.
+void resetSimStats();
+
+}  // namespace amsyn::sim

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "sim/stats.hpp"
 
 namespace amsyn::sim {
 
@@ -76,19 +79,37 @@ void refreshCompanions(const Mna& mna, const num::VecD& x, double /*h*/, bool tr
   }
 }
 
+/// LU factorization cache keyed on the Jacobian's values.  Linear circuits
+/// (and quasi-linear stretches of nonlinear ones) assemble the identical
+/// Jacobian at every Newton iteration and every timestep of a fixed-h
+/// sweep: the companion conductances depend only on (h, integration
+/// method), so only the RHS moves.  Re-factoring is then pure waste — an
+/// O(n^2) value comparison replaces the O(n^3) factorization.
+struct JacobianCache {
+  num::MatrixD values;  ///< the matrix behind `lu`
+  std::optional<num::LUD> lu;
+};
+
 bool newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt,
-                const TransientOptions& opts) {
+                const TransientOptions& opts, JacobianCache& cache) {
   const std::size_t n = mna.size();
-  num::MatrixD jac(n, n);
   num::VecD f(n);
   for (std::size_t it = 0; it < opts.maxNewton; ++it) {
+    num::MatrixD jac(n, n);
     mna.assemble(x, aopt, &jac, &f);
-    num::VecD dx;
-    try {
-      dx = num::LUD(jac).solve(f);
-    } catch (const std::runtime_error&) {
-      return false;
+    if (cache.lu && cache.values.data() == jac.data()) {
+      ++simStats().luReuses;
+    } else {
+      try {
+        cache.values = jac;
+        cache.lu.emplace(std::move(jac));
+      } catch (const std::runtime_error&) {
+        cache.lu.reset();
+        return false;
+      }
+      ++simStats().luFactorizations;
     }
+    num::VecD dx = cache.lu->solve(f);
     double maxDx = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double step = std::clamp(-dx[i], -1.0, 1.0);
@@ -120,6 +141,8 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
   double t = 0.0;
   num::VecD x = op.x;
   bool firstStep = true;
+  JacobianCache jacCache;  // persists across timesteps: fixed-h sweeps of
+                           // linear circuits factor once, then only solve
 
   while (t < opts.tStop - 1e-18) {
     double h = std::min(opts.tStep, opts.tStop - t);
@@ -133,7 +156,7 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
       aopt.companions = &companions;
 
       num::VecD xTry = x;
-      if (newtonStep(mna, xTry, aopt, opts)) {
+      if (newtonStep(mna, xTry, aopt, opts, jacCache)) {
         std::map<std::size_t, CompanionState> next;
         refreshCompanions(mna, xTry, h, aopt.trapezoidal, companions, h, next);
         companions = std::move(next);

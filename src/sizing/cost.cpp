@@ -12,7 +12,7 @@ double CostFunction::operator()(const std::vector<double>& x) const {
 }
 
 CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const {
-  ++evals_;
+  evals_.fetch_add(1, std::memory_order_relaxed);
   Detail d;
   d.performance = model_.evaluate(x);
 

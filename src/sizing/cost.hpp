@@ -6,6 +6,7 @@
 // out of them.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "sizing/perfmodel.hpp"
@@ -42,13 +43,15 @@ class CostFunction {
 
   const SpecSet& specs() const { return specs_; }
   const PerformanceModel& model() const { return model_; }
-  std::size_t evaluationCount() const { return evals_; }
+  std::size_t evaluationCount() const { return evals_.load(std::memory_order_relaxed); }
 
  private:
   const PerformanceModel& model_;
   SpecSet specs_;
   CostOptions opts_;
-  mutable std::size_t evals_ = 0;
+  /// Atomic: one CostFunction is shared by concurrent evaluations (parallel
+  /// population scoring, multi-start annealing).
+  mutable std::atomic<std::size_t> evals_{0};
 };
 
 }  // namespace amsyn::sizing

@@ -7,6 +7,7 @@
 // bring up: exactly the trade the paper describes in section 2.2.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "circuit/netlist.hpp"
@@ -55,13 +56,14 @@ class SimulationModel : public PerformanceModel {
 
   /// Number of full simulator invocations so far (for the Fig. 1 runtime
   /// comparison).
-  std::size_t evaluations() const { return evals_; }
+  std::size_t evaluations() const { return evals_.load(std::memory_order_relaxed); }
 
  private:
   CircuitTemplate tmpl_;
   const circuit::Process& proc_;
   SimModelOptions opts_;
-  mutable std::size_t evals_ = 0;
+  /// Atomic: evaluate() runs concurrently under core/parallel.hpp loops.
+  mutable std::atomic<std::size_t> evals_{0};
 };
 
 /// Ready-made template: two-stage opamp with widths/cc/ibias as variables.

@@ -20,6 +20,13 @@ struct SynthesisOptions {
   /// penalty-method gap), run a second, objective-free pass that drives the
   /// violations to zero from the best point found.
   bool feasibilityPush = true;
+  /// Independent annealing starts.  With 1 (the default) the annealer runs
+  /// exactly as it always has, seeded with `seed`.  With k > 1, start i
+  /// anneals on RNG stream num::Rng::streamSeed(seed, i); starts execute
+  /// concurrently on the shared pool and the winner is chosen by
+  /// (feasible, cost, start index), so the result is bit-identical at any
+  /// thread count.
+  std::size_t multistarts = 1;
 };
 
 struct SynthesisResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.hpp"
 #include "numeric/rng.hpp"
 
 namespace amsyn::topology {
@@ -45,9 +46,17 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
     for (std::size_t i = 0; i < vars.size(); ++i) x[i] = geneToValue(ind.genes[i], vars[i]);
     return x;
   };
-  auto evaluate = [&](Individual& ind) {
-    ++result.evaluations;
-    ind.fitness = -(*costs[ind.topo])(decode(ind));
+  // Fitness evaluation is the hot loop (the paper's evaluation-throughput
+  // bottleneck) and is embarrassingly parallel: genomes are bred serially
+  // from one RNG stream, then the whole batch is scored concurrently.
+  // Scoring draws no random numbers, so the RNG stream — and therefore the
+  // result — is bit-identical to a fully serial run at any thread count.
+  auto evaluateBatch = [&](std::vector<Individual>& batch, std::size_t first) {
+    core::parallelFor(batch.size() - first, [&](std::size_t i) {
+      Individual& ind = batch[first + i];
+      ind.fitness = -(*costs[ind.topo])(decode(ind));
+    });
+    result.evaluations += batch.size() - first;
   };
 
   // Random initial population spread across all topologies.
@@ -56,8 +65,8 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
     pop[i].topo = i % entries.size();
     pop[i].genes.resize(maxDim);
     for (double& g : pop[i].genes) g = rng.uniform();
-    evaluate(pop[i]);
   }
+  evaluateBatch(pop, 0);
 
   auto tournament = [&]() -> const Individual& {
     const Individual* best = &pop[rng.index(pop.size())];
@@ -75,7 +84,11 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
   for (std::size_t gen = 0; gen < opts.generations; ++gen) {
     std::vector<Individual> next;
     next.reserve(pop.size());
-    next.push_back(bestEver);  // elitism
+    next.push_back(bestEver);  // elitism (already scored)
+    // Breed serially: selection, crossover, and mutation consume the RNG
+    // stream in a fixed order.  Tournaments read only the previous
+    // generation's fitness, so deferring the children's scores to the batch
+    // below changes nothing.
     while (next.size() < pop.size()) {
       Individual child = tournament();
       const Individual& other = tournament();
@@ -91,10 +104,11 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
           g = std::clamp(g + rng.normal(0.0, opts.mutationSigma), 0.0, 1.0);
       if (rng.chance(opts.topologyMutationRate))
         child.topo = rng.index(entries.size());
-      evaluate(child);
-      if (child.fitness > bestEver.fitness) bestEver = child;
       next.push_back(std::move(child));
     }
+    evaluateBatch(next, 1);  // score this generation's children in parallel
+    for (std::size_t i = 1; i < next.size(); ++i)
+      if (next[i].fitness > bestEver.fitness) bestEver = next[i];
     pop = std::move(next);
   }
 

@@ -8,6 +8,7 @@
 #include "sim/measure.hpp"
 #include "sim/mna.hpp"
 #include "sim/noise.hpp"
+#include "sim/stats.hpp"
 #include "sim/transient.hpp"
 
 namespace ckt = amsyn::circuit;
@@ -206,6 +207,44 @@ M1 out g 0 0 NMOS W=50u L=2u
   EXPECT_NEAR(std::abs(h), expected, expected * 0.05);
 }
 
+TEST(Ac, SweepFactorsOncePerUniqueFrequency) {
+  auto net = ckt::parseDeck(R"(
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+.end)");
+  sim::Mna mna(net, proc());
+  const auto op = sim::dcOperatingPoint(mna);
+  ASSERT_TRUE(op.converged);
+  sim::resetSimStats();
+  const auto sweep = sim::acAnalysis(mna, op, "out", {1e3, 1e3, 2e3, 2e3});
+  ASSERT_EQ(sweep.points.size(), 4u);
+  // (G + jwC) depends only on w: duplicated points reuse the cached LU.
+  EXPECT_EQ(sim::simStats().luFactorizations, 2u);
+  EXPECT_EQ(sim::simStats().luReuses, 2u);
+  // Identical frequencies must produce identical phasors.
+  EXPECT_EQ(sweep.points[0].value, sweep.points[1].value);
+  EXPECT_EQ(sweep.points[2].value, sweep.points[3].value);
+}
+
+TEST(Noise, AdjointSolveReusesForwardFactorization) {
+  auto net = ckt::parseDeck(R"(
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+R2 out 0 1k
+.end)");
+  sim::Mna mna(net, proc());
+  const auto op = sim::dcOperatingPoint(mna);
+  ASSERT_TRUE(op.converged);
+  sim::resetSimStats();
+  const auto nz = sim::noiseAnalysis(mna, op, "out", {1e2, 1e3, 1e4});
+  ASSERT_EQ(nz.points.size(), 3u);
+  // Per frequency: the forward solve factors, the adjoint (transposed) solve
+  // reuses the same factorization.
+  EXPECT_EQ(sim::simStats().luFactorizations, 3u);
+  EXPECT_EQ(sim::simStats().luReuses, 3u);
+}
+
 TEST(Transient, RcChargesExponentially) {
   ckt::Netlist net;
   auto& v = net.addVSource("V1", "in", "0", 0.0);
@@ -233,6 +272,35 @@ TEST(Transient, RcChargesExponentially) {
     if (tr.time[i] <= 1e-6) i1 = i;
   EXPECT_NEAR(wave[i1], 0.632, 0.01);
   EXPECT_NEAR(wave[i5], 0.993, 0.01);
+}
+
+TEST(Transient, LinearFixedStepSweepFactorsJacobianTwice) {
+  // A linear circuit on a fixed timestep assembles the identical Jacobian at
+  // every Newton iteration of every step: the companion conductances depend
+  // only on (h, method).  Expect exactly two factorizations — backward Euler
+  // on the first step, trapezoidal thereafter — and reuse everywhere else.
+  ckt::Netlist net;
+  auto& v = net.addVSource("V1", "in", "0", 0.0);
+  v.waveform.kind = ckt::Waveform::Kind::Pulse;
+  v.waveform.v1 = 0.0;
+  v.waveform.v2 = 1.0;
+  v.waveform.rise = 1e-12;
+  v.waveform.width = 1.0;
+  v.waveform.period = 2.0;
+  net.addResistor("R1", "in", "out", 1e3);
+  net.addCapacitor("C1", "out", "0", 1e-9);
+  sim::Mna mna(net, proc());
+  const auto op = sim::dcOperatingPoint(mna);
+  ASSERT_TRUE(op.converged);
+  sim::TransientOptions topts;
+  topts.tStop = 5e-6;
+  topts.tStep = 10e-9;
+  sim::resetSimStats();
+  const auto tr = sim::transientAnalysis(mna, op, topts);
+  ASSERT_TRUE(tr.completed);
+  ASSERT_GE(tr.time.size(), 500u);
+  EXPECT_EQ(sim::simStats().luFactorizations, 2u);
+  EXPECT_GE(sim::simStats().luReuses, 500u);
 }
 
 TEST(Transient, LcOscillationPreservesAmplitude) {
