@@ -1,0 +1,99 @@
+// Structured failure taxonomy and deterministic work budget for candidate
+// evaluations.  The synthesis frontend is an optimization loop over
+// thousands of candidate designs, and its central robustness requirement is
+// that a bad candidate — unconverged bias point, singular Jacobian, NaN
+// iterate, runaway transient — becomes *infeasible data*, never a crash.
+// Every analysis result and every Performance map carries one of these
+// reason codes so the sizing cost, corner search, and flow report *why* a
+// point failed.
+//
+// Header-only on purpose: like core/parallel.hpp this sits below the
+// evaluation libraries in the dependency order (amsyn_sim and amsyn_sizing
+// include it without linking amsyn_core).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace amsyn::core {
+
+/// Why a candidate evaluation (or one analysis inside it) failed.  `Ok`
+/// means the result is trustworthy; everything else marks the result
+/// infeasible for the optimizer while remaining an ordinary value.
+enum class EvalStatus : std::uint8_t {
+  Ok = 0,
+  DcNoConvergence,   ///< Newton + continuation ladder all failed to converge
+  SingularJacobian,  ///< LU factorization hit a numerically singular matrix
+  NanDetected,       ///< NaN/Inf appeared in an iterate, residual, or score
+  BudgetExhausted,   ///< the evaluation ran out of Newton-iteration work units
+  BadTopology,       ///< the candidate could not even be built into a netlist
+  NoAcCrossing,      ///< AC response never crossed unity gain (no ugf/pm)
+  InternalError,     ///< an exception escaped the evaluator and was contained
+  kCount,            ///< number of reason codes (for counter arrays)
+};
+
+inline constexpr std::size_t kEvalStatusCount =
+    static_cast<std::size_t>(EvalStatus::kCount);
+
+/// Stable snake_case reason-code string (what FlowResult::failureReason and
+/// reports print).
+inline constexpr const char* evalStatusName(EvalStatus s) {
+  switch (s) {
+    case EvalStatus::Ok: return "ok";
+    case EvalStatus::DcNoConvergence: return "dc_no_convergence";
+    case EvalStatus::SingularJacobian: return "singular_jacobian";
+    case EvalStatus::NanDetected: return "nan_detected";
+    case EvalStatus::BudgetExhausted: return "budget_exhausted";
+    case EvalStatus::BadTopology: return "bad_topology";
+    case EvalStatus::NoAcCrossing: return "no_ac_crossing";
+    case EvalStatus::InternalError: return "internal_error";
+    case EvalStatus::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Deterministic evaluation budget measured in Newton-iteration work units —
+/// never wall clock, so an evaluation that exhausts its budget does so at
+/// the same iterate regardless of machine speed or thread count, and the
+/// surviving candidates of a parallel run stay bit-identical to a serial
+/// run.  One budget belongs to one candidate evaluation (consume() is called
+/// from that evaluation's thread only); the cancel flag may be flipped from
+/// any thread — pool tasks poll it cooperatively so a runaway analysis
+/// degrades to BudgetExhausted instead of hanging a worker.
+class EvalBudget {
+ public:
+  /// `limit` = maximum work units (0 = unlimited, cancel-only).
+  explicit EvalBudget(std::uint64_t limit = 0,
+                      const std::atomic<bool>* externalCancel = nullptr)
+      : limit_(limit), externalCancel_(externalCancel) {}
+
+  /// Charge `units` of work.  Returns false once the budget is exhausted or
+  /// cancelled; the caller must then abandon the analysis and report
+  /// EvalStatus::BudgetExhausted.
+  bool consume(std::uint64_t units = 1) {
+    if (cancelled()) return false;
+    used_ += units;
+    return limit_ == 0 || used_ <= limit_;
+  }
+
+  bool exhausted() const { return (limit_ != 0 && used_ > limit_) || cancelled(); }
+
+  /// Cooperative cancellation (safe from any thread).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (externalCancel_ && externalCancel_->load(std::memory_order_relaxed));
+  }
+
+  std::uint64_t used() const { return used_; }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::uint64_t limit_ = 0;
+  std::uint64_t used_ = 0;
+  std::atomic<bool> cancelled_{false};
+  const std::atomic<bool>* externalCancel_ = nullptr;
+};
+
+}  // namespace amsyn::core

@@ -6,7 +6,9 @@
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
+#include "sim/stats.hpp"
 #include "sizing/eqmodel.hpp"
+#include "sizing/perfmodel.hpp"
 #include "knowledge/opamp_plans.hpp"
 #include "sizing/opamp.hpp"
 #include "topology/select.hpp"
@@ -16,20 +18,34 @@ namespace amsyn::core {
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
                                      const circuit::Process& proc) {
   sizing::Performance perf;
-  sim::Mna mna(net, proc);
-  const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc.vdd / 2));
-  if (!op.converged) {
-    perf["_infeasible"] = 1.0;
-    return perf;
+  try {
+    sim::Mna mna(net, proc);
+    const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc.vdd / 2));
+    if (!op.converged) {
+      sizing::markInfeasible(perf, op.status);  // dc already tallied the failure
+      return perf;
+    }
+    perf["power"] = sim::staticPower(mna, op);
+    const auto sweep = sim::acAnalysis(mna, op, "out", sim::logspace(1.0, 1e9, 6));
+    if (sweep.status != EvalStatus::Ok) {
+      sizing::markInfeasible(perf, sweep.status);
+      return perf;
+    }
+    perf["gain_db"] = sim::dcGainDb(sweep);
+    const auto ugf = sim::unityGainFrequency(sweep);
+    const auto pm = sim::phaseMarginDeg(sweep);
+    if (ugf) perf["ugf"] = *ugf;
+    if (pm) perf["pm"] = *pm;
+    if (!ugf || !pm) {
+      sizing::markInfeasible(perf, EvalStatus::NoAcCrossing);
+      sim::recordEvalFailure(EvalStatus::NoAcCrossing);
+    }
+  } catch (...) {
+    // A malformed netlist (bad node names from layout annotation, ...) is
+    // verification data, not a crash.
+    sizing::markInfeasible(perf, EvalStatus::InternalError);
+    sim::recordEvalFailure(EvalStatus::InternalError);
   }
-  perf["power"] = sim::staticPower(mna, op);
-  const auto sweep = sim::acAnalysis(mna, op, "out", sim::logspace(1.0, 1e9, 6));
-  perf["gain_db"] = sim::dcGainDb(sweep);
-  const auto ugf = sim::unityGainFrequency(sweep);
-  const auto pm = sim::phaseMarginDeg(sweep);
-  if (ugf) perf["ugf"] = *ugf;
-  if (pm) perf["pm"] = *pm;
-  if (!ugf || !pm) perf["_infeasible"] = 1.0;
   return perf;
 }
 
@@ -133,6 +149,7 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
     }
     if (candidates.empty()) {
       result.failureReason = "sizing failed to meet the (possibly inflated) specs";
+      result.failureStatus = EvalStatus::Ok;  // design failure, not machinery
       continue;
     }
 
@@ -173,7 +190,11 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
     result.schematic = schematic;
     result.verifications.push_back(pre);
     if (!pre.passed) {
+      result.failureStatus = sizing::performanceStatus(pre.measured);
       result.failureReason = "pre-layout verification failed (model/sim mismatch)";
+      if (result.failureStatus != EvalStatus::Ok)
+        result.failureReason +=
+            std::string(": ") + evalStatusName(result.failureStatus);
       continue;  // redesign with the updated corrections
     }
 
@@ -183,6 +204,7 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
     result.cell = layoutCell(schematic, proc, lopts);
     if (!result.cell.success) {
       result.failureReason = "cell layout failed (placement/routing)";
+      result.failureStatus = EvalStatus::Ok;
       continue;
     }
 
@@ -201,9 +223,13 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
     if (post.passed) {
       result.success = true;
       result.failureReason.clear();
+      result.failureStatus = EvalStatus::Ok;
       return result;
     }
+    result.failureStatus = sizing::performanceStatus(post.measured);
     result.failureReason = "post-layout verification failed; closing the loop";
+    if (result.failureStatus != EvalStatus::Ok)
+      result.failureReason += std::string(": ") + evalStatusName(result.failureStatus);
   }
   return result;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/celllayout.hpp"
+#include "core/evalstatus.hpp"
 #include "sizing/spec.hpp"
 #include "sizing/synth.hpp"
 #include "topology/library.hpp"
@@ -47,6 +48,10 @@ struct FlowResult {
   std::vector<VerificationRecord> verifications;
   std::size_t redesigns = 0;
   std::string failureReason;
+  /// Structured companion to failureReason: which evaluation-machinery
+  /// failure (if any) ended the last attempt.  Ok both on success and when
+  /// the flow failed for design reasons (specs simply not met).
+  EvalStatus failureStatus = EvalStatus::Ok;
 };
 
 /// Run the complete amplifier flow: select a topology from the built-in

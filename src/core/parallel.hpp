@@ -94,6 +94,29 @@ auto parallelMap(std::size_t n, Fn&& fn, ThreadPool* poolOverride = nullptr)
   return out;
 }
 
+/// parallelFor in per-index error-capture mode: fn(i) runs for EVERY index,
+/// and an exception thrown by index i is stored in the returned vector at
+/// slot i instead of aborting its siblings.  Use at evaluation boundaries
+/// (population scoring, corner fan-out) where one poisoned candidate must
+/// not cost the batch: indices that completed keep results bit-identical to
+/// a failure-free run.  errs[i] is null for indices that completed normally.
+template <typename Fn>
+std::vector<std::exception_ptr> parallelForCaptured(std::size_t n, Fn&& fn,
+                                                    ThreadPool* poolOverride = nullptr) {
+  std::vector<std::exception_ptr> errs(n);
+  parallelFor(
+      n,
+      [&](std::size_t i) {
+        try {
+          fn(i);
+        } catch (...) {
+          errs[i] = std::current_exception();  // each index written once: no race
+        }
+      },
+      poolOverride);
+  return errs;
+}
+
 /// RAII global-pool override for tests and benchmarks: pins the pool seen by
 /// parallelFor/parallelMap to a fixed thread count for the scope's lifetime.
 class ScopedThreadPool {

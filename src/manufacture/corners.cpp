@@ -55,10 +55,16 @@ double signedMargin(const Spec& spec, const sizing::Performance& perf) {
 WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process& nominal,
                             const VariationSpace& space, const std::vector<double>& x,
                             const Spec& spec) {
+  // safeEvaluate: a corner whose evaluation throws or yields NaN comes back
+  // tagged _infeasible, and signedMargin treats a missing performance as
+  // violated (-1.0) — the pessimistic reading, which is the correct
+  // worst-case semantics for a corner we could not evaluate.
   auto marginAt = [&](const std::vector<double>& c) {
     const circuit::Process p = space.apply(nominal, c);
     const auto model = factory(p);
-    return signedMargin(spec, model->evaluate(x));
+    const auto perf = sizing::safeEvaluate(*model, x);
+    if (perf.count("_infeasible")) return -1.0;
+    return signedMargin(spec, perf);
   };
 
   // Stage 1: enumerate the 2^6 box vertices (worst cases of quasi-monotone
@@ -98,7 +104,7 @@ WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process&
   }
 
   const circuit::Process p = space.apply(nominal, worst.corner);
-  const auto perf = factory(p)->evaluate(x);
+  const auto perf = sizing::safeEvaluate(*factory(p), x);
   if (auto it = perf.find(spec.performance); it != perf.end()) worst.value = it->second;
   return worst;
 }
@@ -133,13 +139,16 @@ class CornerSetModel : public sizing::PerformanceModel {
     // order costs nothing and keeps floating-point identity trivial.
     // Small sets stay serial: the pool round-trip would dominate the
     // microsecond equation models.
+    // Corners route through safeEvaluate: one throwing corner model marks
+    // the aggregate _infeasible below instead of tearing down its siblings.
     std::vector<sizing::Performance> perfs;
     if (models_.size() >= 4) {
-      perfs = core::parallelMap(models_.size(),
-                                [&](std::size_t k) { return models_[k]->evaluate(x); });
+      perfs = core::parallelMap(models_.size(), [&](std::size_t k) {
+        return sizing::safeEvaluate(*models_[k], x);
+      });
     } else {
       perfs.reserve(models_.size());
-      for (const auto& m : models_) perfs.push_back(m->evaluate(x));
+      for (const auto& m : models_) perfs.push_back(sizing::safeEvaluate(*m, x));
     }
     sizing::Performance agg = perfs.front();
     for (std::size_t k = 1; k < models_.size(); ++k) {
@@ -152,7 +161,12 @@ class CornerSetModel : public sizing::PerformanceModel {
         cur = spec.kind == SpecKind::GreaterEqual ? std::min(cur, it->second)
                                                   : std::max(cur, it->second);
       }
-      if (perf.count("_infeasible")) agg["_infeasible"] = 1.0;
+      if (perf.count("_infeasible")) {
+        agg["_infeasible"] = 1.0;
+        // First failing corner's reason sticks (emplace semantics).
+        if (auto st = perf.find(sizing::kEvalStatusKey); st != perf.end())
+          agg.emplace(sizing::kEvalStatusKey, st->second);
+      }
     }
     return agg;
   }

@@ -1,8 +1,10 @@
 #include "sim/ac.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
 namespace amsyn::sim {
@@ -18,6 +20,8 @@ const num::LUC& AcSolver::factorAt(double frequency) {
     ++simStats().luReuses;
     return *lu_;
   }
+  if (FaultInjector::instance().armed() && FaultInjector::instance().takeLuFailure())
+    throw std::runtime_error("injected singular LU");
   const double w = 2.0 * M_PI * frequency;
   num::MatrixC a(n_, n_);
   for (std::size_t i = 0; i < n_; ++i)
@@ -73,7 +77,7 @@ std::vector<double> logspace(double fStart, double fStop, std::size_t pointsPerD
 }
 
 AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
-                   const std::vector<double>& frequencies) {
+                   const std::vector<double>& frequencies, core::EvalBudget* budget) {
   if (!op.converged) throw std::invalid_argument("acAnalysis: operating point not converged");
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode) throw std::invalid_argument("acAnalysis: unknown node " + outputNode);
@@ -87,15 +91,37 @@ AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& output
   AcSweep sweep;
   sweep.points.reserve(frequencies.size());
   for (double f : frequencies) {
-    const num::VecC x = solver.solve(f, rhs);
+    if (!consumeWork(budget)) {
+      sweep.status = core::EvalStatus::BudgetExhausted;
+      break;
+    }
+    num::VecC x;
+    try {
+      x = solver.solve(f, rhs);
+    } catch (const std::runtime_error&) {
+      // Singular (G + jwC) at this frequency: a pathological candidate, not
+      // a programming error.  Return what was solved with the reason.
+      sweep.status = core::EvalStatus::SingularJacobian;
+      break;
+    }
+    if (!std::isfinite(x[outIdx].real()) || !std::isfinite(x[outIdx].imag())) {
+      sweep.status = core::EvalStatus::NanDetected;
+      break;
+    }
     sweep.points.push_back({f, x[outIdx]});
   }
+  if (sweep.status != core::EvalStatus::Ok) recordEvalFailure(sweep.status);
   return sweep;
 }
 
 std::complex<double> acTransfer(const Mna& mna, const DcResult& op,
                                 const std::string& outputNode, double frequency) {
-  return acAnalysis(mna, op, outputNode, {frequency}).points.at(0).value;
+  const AcSweep sweep = acAnalysis(mna, op, outputNode, {frequency});
+  if (sweep.points.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {nan, nan};  // status already tallied by acAnalysis
+  }
+  return sweep.points.at(0).value;
 }
 
 }  // namespace amsyn::sim

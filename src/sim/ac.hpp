@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evalstatus.hpp"
 #include "sim/dc.hpp"
 #include "sim/mna.hpp"
 
@@ -19,6 +20,11 @@ struct AcPoint {
 };
 
 struct AcSweep {
+  /// Ok, or why the sweep stopped early (SingularJacobian at some frequency,
+  /// NanDetected in a solution, BudgetExhausted).  `points` then holds the
+  /// frequencies solved before the failure; measurement helpers treat a
+  /// short sweep as "no crossing found".
+  core::EvalStatus status = core::EvalStatus::Ok;
   std::vector<AcPoint> points;
 
   double magnitudeDb(std::size_t i) const;
@@ -61,9 +67,13 @@ class AcSolver {
 };
 
 /// AC sweep of the voltage at `outputNode`.  The stimulus is whatever AC
-/// magnitudes are present on the netlist's sources.
+/// magnitudes are present on the netlist's sources.  A singular linearized
+/// system or a non-finite solution ends the sweep early with the reason in
+/// AcSweep::status instead of throwing.  The optional budget is charged one
+/// unit per frequency point.
 AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
-                   const std::vector<double>& frequencies);
+                   const std::vector<double>& frequencies,
+                   core::EvalBudget* budget = nullptr);
 
 /// Single-frequency transfer to an output node.
 std::complex<double> acTransfer(const Mna& mna, const DcResult& op,

@@ -2,31 +2,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "sim/fault.hpp"
+#include "sim/stats.hpp"
 
 namespace amsyn::sim {
 
+using core::EvalStatus;
+
 namespace {
 
-/// One damped Newton solve at fixed (sourceScale, gmin).  Returns convergence
-/// and leaves the iterate in x.
-bool newtonSolve(const Mna& mna, num::VecD& x, double sourceScale, double gmin,
-                 const DcOptions& opts, std::size_t& iterationsOut) {
+/// How one damped Newton solve ended.
+enum class NewtonOutcome {
+  Converged,
+  NoConvergence,  ///< iteration limit hit with finite iterates
+  Singular,       ///< LU factorization failed
+  Nan,            ///< NaN/Inf in residual or update — bailed immediately
+  Budget,         ///< work budget exhausted or evaluation cancelled
+};
+
+bool allFinite(const num::VecD& v) {
+  for (double e : v)
+    if (!std::isfinite(e)) return false;
+  return true;
+}
+
+/// One damped Newton solve at fixed (sourceScale, gmin).  Returns the
+/// outcome and leaves the iterate in x.  Charges one budget unit per
+/// iteration.  A NaN/Inf residual or update aborts right away — burning the
+/// remaining maxIterations on poisoned iterates cannot recover and only
+/// wastes the budget the continuation ladder still needs.
+NewtonOutcome newtonSolve(const Mna& mna, num::VecD& x, double sourceScale, double gmin,
+                          const DcOptions& opts, std::size_t& iterationsOut) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed() && inj.takeDcNewtonFailure()) return NewtonOutcome::Singular;
+
   const std::size_t n = mna.size();
   num::MatrixD jac(n, n);
   num::VecD f(n);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    if (!consumeWork(opts.budget)) return NewtonOutcome::Budget;
     AssemblyOptions aopt;
     aopt.sourceScale = sourceScale;
     aopt.gmin = gmin;
     mna.assemble(x, aopt, &jac, &f);
+    if (inj.armed() && inj.takeResidualPoison())
+      f[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!allFinite(f)) return NewtonOutcome::Nan;
 
     num::VecD dx;
     try {
       dx = num::LUD(jac).solve(f);
     } catch (const std::runtime_error&) {
-      return false;  // singular Jacobian: let the continuation ladder retry
+      return NewtonOutcome::Singular;  // let the continuation ladder retry
     }
+    if (!allFinite(dx)) return NewtonOutcome::Nan;
     // Damped update with per-unknown clamping (SPICE-style voltage limiting).
     double maxDx = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -39,10 +71,22 @@ bool newtonSolve(const Mna& mna, num::VecD& x, double sourceScale, double gmin,
     if (maxDx < opts.vAbsTol) {
       // Confirm with the residual at the accepted point.
       mna.assemble(x, aopt, nullptr, &f);
-      if (num::normInf(f) < opts.absTol) return true;
+      const double r = num::normInf(f);
+      if (!std::isfinite(r)) return NewtonOutcome::Nan;
+      if (r < opts.absTol) return NewtonOutcome::Converged;
     }
   }
-  return false;
+  return NewtonOutcome::NoConvergence;
+}
+
+/// Reason code for a ladder that died with this outcome.
+EvalStatus outcomeStatus(NewtonOutcome o) {
+  switch (o) {
+    case NewtonOutcome::Singular: return EvalStatus::SingularJacobian;
+    case NewtonOutcome::Nan: return EvalStatus::NanDetected;
+    case NewtonOutcome::Budget: return EvalStatus::BudgetExhausted;
+    default: return EvalStatus::DcNoConvergence;
+  }
 }
 
 }  // namespace
@@ -63,11 +107,23 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
   if (res.x.size() != mna.size()) res.x.assign(mna.size(), 0.0);
   const num::VecD start = res.x;  // continuation rungs restart from here
 
-  // Rung 1: plain Newton with a small safety gmin.
-  if (newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
+  auto succeed = [&](const char* strategy, std::atomic<std::uint64_t>& counter) {
     res.converged = true;
-    res.strategy = "newton";
+    res.status = EvalStatus::Ok;
+    res.strategy = strategy;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Rung 1: plain Newton with a small safety gmin.
+  NewtonOutcome out = newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations);
+  if (out == NewtonOutcome::Converged) {
+    succeed("newton", failureStats().strategyNewton);
     return res;
+  }
+  res.status = outcomeStatus(out);  // remember the most recent failure mode
+  if (out == NewtonOutcome::Budget) {
+    recordEvalFailure(res.status);
+    return res;  // the ladder shares the budget; nothing left to climb with
   }
 
   // Rung 2: gmin stepping — start heavily damped, relax geometrically.
@@ -75,14 +131,20 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
     res.x = start;
     bool ok = true;
     for (double gmin = 1e-2; gmin >= 1e-12; gmin *= 1e-2) {
-      if (!newtonSolve(mna, res.x, 1.0, gmin, opts, res.iterations)) {
+      out = newtonSolve(mna, res.x, 1.0, gmin, opts, res.iterations);
+      if (out != NewtonOutcome::Converged) {
         ok = false;
         break;
       }
     }
-    if (ok && newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
-      res.converged = true;
-      res.strategy = "gmin";
+    if (ok) out = newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations);
+    if (ok && out == NewtonOutcome::Converged) {
+      succeed("gmin", failureStats().strategyGmin);
+      return res;
+    }
+    res.status = outcomeStatus(out);
+    if (out == NewtonOutcome::Budget) {
+      recordEvalFailure(res.status);
       return res;
     }
   }
@@ -92,26 +154,28 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
     res.x = start;
     bool ok = true;
     for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-      if (!newtonSolve(mna, res.x, scale, 1e-9, opts, res.iterations)) {
+      out = newtonSolve(mna, res.x, scale, 1e-9, opts, res.iterations);
+      if (out != NewtonOutcome::Converged) {
         ok = false;
         break;
       }
     }
-    if (ok && newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations)) {
-      res.converged = true;
-      res.strategy = "source";
+    if (ok) out = newtonSolve(mna, res.x, 1.0, 1e-12, opts, res.iterations);
+    if (ok && out == NewtonOutcome::Converged) {
+      succeed("source", failureStats().strategySource);
       return res;
     }
+    res.status = outcomeStatus(out);
   }
 
   res.converged = false;
+  recordEvalFailure(res.status);
   return res;
 }
 
-std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
-                                                  const std::string& sourceName, double from,
-                                                  double to, std::size_t points,
-                                                  const std::string& outputNode) {
+DcTransferResult dcTransfer(const Mna& mna, const std::string& sourceName, double from,
+                            double to, std::size_t points, const std::string& outputNode,
+                            const DcOptions& opts) {
   if (points < 2) throw std::invalid_argument("dcTransfer: need >= 2 points");
   // Work on a copy of the netlist so the sweep can modify the source value.
   Netlist net = mna.netlist();
@@ -120,7 +184,8 @@ std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
   const auto outNode = net.findNode(outputNode);
   if (!outNode) throw std::invalid_argument("dcTransfer: no node " + outputNode);
 
-  std::vector<std::pair<double, double>> curve;
+  DcTransferResult res;
+  res.requested = points;
   Mna localMna(net, mna.process());
   num::VecD warm(localMna.size(), 0.0);
   bool haveWarm = false;
@@ -129,13 +194,24 @@ std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
                                   static_cast<double>(points - 1);
     src->value = val;
     src->waveform.v1 = val;
-    DcResult r = haveWarm ? dcOperatingPoint(localMna, warm) : dcOperatingPoint(localMna);
-    if (!r.converged) continue;
+    DcResult r =
+        haveWarm ? dcOperatingPoint(localMna, warm, opts) : dcOperatingPoint(localMna, opts);
+    if (r.status == core::EvalStatus::BudgetExhausted) {
+      // The remaining points share the same exhausted budget: stop instead
+      // of charging a failed ladder climb per point.
+      res.skipped += points - i;
+      res.status = core::EvalStatus::BudgetExhausted;
+      break;
+    }
+    if (!r.converged) {
+      ++res.skipped;
+      continue;
+    }
     warm = r.x;
     haveWarm = true;
-    curve.emplace_back(val, localMna.nodeVoltage(r.x, *outNode));
+    res.curve.emplace_back(val, localMna.nodeVoltage(r.x, *outNode));
   }
-  return curve;
+  return res;
 }
 
 double sourceCurrent(const Mna& mna, const DcResult& op, const std::string& sourceName) {

@@ -1,11 +1,14 @@
 // DC operating-point and DC-transfer analyses: damped Newton-Raphson with
 // gmin stepping and source stepping as continuation fallbacks (the standard
-// SPICE convergence ladder).
+// SPICE convergence ladder).  Every entry point is total: a failed solve
+// returns a DcResult carrying a core::EvalStatus reason code instead of
+// throwing, so optimization loops treat bad candidates as infeasible data.
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "core/evalstatus.hpp"
 #include "sim/mna.hpp"
 
 namespace amsyn::sim {
@@ -17,10 +20,18 @@ struct DcOptions {
   double maxStep = 0.5;     ///< Newton update clamp per unknown (V or A)
   bool allowGminStepping = true;
   bool allowSourceStepping = true;
+  /// Optional work budget (one Newton iteration = one unit) shared by all
+  /// analyses of one candidate evaluation.  Exhaustion aborts the
+  /// continuation ladder with EvalStatus::BudgetExhausted.
+  core::EvalBudget* budget = nullptr;
 };
 
 struct DcResult {
   bool converged = false;
+  /// Why the solve failed (Ok when converged).  SingularJacobian/NanDetected
+  /// mean every continuation rung died that way; BudgetExhausted means the
+  /// ladder was cut short.
+  core::EvalStatus status = core::EvalStatus::DcNoConvergence;
   num::VecD x;               ///< solution vector (see Mna layout)
   std::size_t iterations = 0;
   std::string strategy;      ///< "newton", "gmin", or "source"
@@ -38,12 +49,23 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
 /// the balanced operating point.
 num::VecD flatStart(const Mna& mna, double nodeVoltage);
 
+/// DC-transfer sweep result.  Non-converged sweep points are dropped from
+/// the curve but counted, so consumers (outputSwing, measurement code) can
+/// report "skipped of requested points unconverged" instead of guessing why
+/// the curve is short.
+struct DcTransferResult {
+  std::vector<std::pair<double, double>> curve;  ///< {sweepValue, outputVoltage}
+  std::size_t requested = 0;  ///< points asked for
+  std::size_t skipped = 0;    ///< points dropped for non-convergence
+  /// Ok, or BudgetExhausted when the sweep was cut short by the budget (the
+  /// curve then holds the points solved before exhaustion).
+  core::EvalStatus status = core::EvalStatus::Ok;
+};
+
 /// Sweep the value of a V/I source and record an output node voltage.
-/// Returns {sweepValue, outputVoltage} pairs; non-converged points omitted.
-std::vector<std::pair<double, double>> dcTransfer(const Mna& mna,
-                                                  const std::string& sourceName,
-                                                  double from, double to, std::size_t points,
-                                                  const std::string& outputNode);
+DcTransferResult dcTransfer(const Mna& mna, const std::string& sourceName, double from,
+                            double to, std::size_t points, const std::string& outputNode,
+                            const DcOptions& opts = {});
 
 /// Total current drawn from a DC voltage source at the operating point
 /// (positive = the source delivers current into the circuit from its +

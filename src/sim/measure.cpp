@@ -149,8 +149,31 @@ std::optional<double> psrrDb(const circuit::Netlist& net, const circuit::Process
   };
   const auto aDiff = gainWithStimulusOn(inputSource, supplySource);
   const auto aSupply = gainWithStimulusOn(supplySource, inputSource);
-  if (!aDiff || !aSupply || *aSupply <= 0.0) return std::nullopt;
+  // acTransfer reports a failed solve as NaN; treat it as "not measurable".
+  if (!aDiff || !aSupply || !std::isfinite(*aDiff) || !std::isfinite(*aSupply) ||
+      *aSupply <= 0.0)
+    return std::nullopt;
   return 20.0 * std::log10(*aDiff / *aSupply);
+}
+
+std::string SwingResult::describe() const {
+  if (valid) return "swing [" + std::to_string(low) + ", " + std::to_string(high) + "] V";
+  return "no swing: " + std::to_string(unconvergedPoints) + " of " +
+         std::to_string(requestedPoints) + " sweep points unconverged";
+}
+
+SwingResult outputSwing(const DcTransferResult& transfer, double gainFraction) {
+  if (transfer.curve.size() < 3) {
+    SwingResult res;
+    res.valid = false;
+    res.unconvergedPoints = transfer.skipped;
+    res.requestedPoints = transfer.requested;
+    return res;
+  }
+  SwingResult res = outputSwing(transfer.curve, gainFraction);
+  res.unconvergedPoints = transfer.skipped;
+  res.requestedPoints = transfer.requested;
+  return res;
 }
 
 SwingResult outputSwing(const std::vector<std::pair<double, double>>& transfer,

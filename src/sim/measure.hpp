@@ -50,9 +50,24 @@ double staticPower(const Mna& mna, const DcResult& op);
 struct SwingResult {
   double low = 0.0;
   double high = 0.0;
+  /// False when the transfer curve had too few converged points to measure
+  /// a swing; `low`/`high` are then meaningless and `describe()` explains
+  /// how much of the sweep was lost.
+  bool valid = true;
+  std::size_t unconvergedPoints = 0;  ///< sweep points dropped by dcTransfer
+  std::size_t requestedPoints = 0;    ///< sweep points asked for
+
+  /// "N of M sweep points unconverged" style diagnostic for reports.
+  std::string describe() const;
 };
 SwingResult outputSwing(const std::vector<std::pair<double, double>>& transfer,
                         double gainFraction = 0.25);
+
+/// Swing from a DcTransferResult: never throws — an unusable curve (fewer
+/// than 3 converged points) yields {valid: false} carrying the
+/// skipped/requested counts so callers report "N of M points unconverged"
+/// instead of dying on a bare exception.
+SwingResult outputSwing(const DcTransferResult& transfer, double gainFraction = 0.25);
 
 /// Power-supply rejection ratio at `frequency` (dB): differential gain from
 /// the source named `inputSource` over the gain from the source named

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "sim/ac.hpp"
+#include "sim/fault.hpp"
+#include "sim/stats.hpp"
 
 namespace amsyn::sim {
 
@@ -22,7 +24,8 @@ double NoiseResult::integratedOutputRms() const {
 }
 
 NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
-                          const std::vector<double>& frequencies) {
+                          const std::vector<double>& frequencies,
+                          core::EvalBudget* budget) {
   if (!op.converged) throw std::invalid_argument("noiseAnalysis: op not converged");
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode || *outNode == circuit::kGround)
@@ -38,16 +41,28 @@ NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string&
 
   NoiseResult res;
   for (double f : frequencies) {
+    if (!consumeWork(budget)) {
+      res.status = core::EvalStatus::BudgetExhausted;
+      recordEvalFailure(res.status);
+      return res;
+    }
     // Forward solve: output phasor under the netlist's AC stimulus (for
-    // input referral).
-    const num::VecC xf = solver.solve(f, rhs);
-    const double gainMag = std::abs(xf[outIdx]);
-
-    // Adjoint solve: transfer from a unit current injected at any node pair
-    // to the output voltage is (xa[a] - xa[b]).
+    // input referral).  A singular linearized system at some frequency is a
+    // property of the candidate, not a bug: stop with the reason attached.
+    num::VecC xf, xa;
     num::VecC e(n, std::complex<double>{0.0, 0.0});
     e[outIdx] = 1.0;
-    const num::VecC xa = solver.solveTransposed(f, e);
+    try {
+      xf = solver.solve(f, rhs);
+      // Adjoint solve: transfer from a unit current injected at any node
+      // pair to the output voltage is (xa[a] - xa[b]).
+      xa = solver.solveTransposed(f, e);
+    } catch (const std::runtime_error&) {
+      res.status = core::EvalStatus::SingularJacobian;
+      recordEvalFailure(res.status);
+      return res;
+    }
+    const double gainMag = std::abs(xf[outIdx]);
 
     auto h2 = [&](NodeId from, NodeId to) {
       std::complex<double> hv = 0.0;

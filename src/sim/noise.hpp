@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evalstatus.hpp"
 #include "sim/dc.hpp"
 #include "sim/mna.hpp"
 
@@ -19,6 +20,9 @@ struct NoisePoint {
 };
 
 struct NoiseResult {
+  /// Ok, or why the analysis stopped early (SingularJacobian,
+  /// BudgetExhausted); `points` then holds the frequencies finished.
+  core::EvalStatus status = core::EvalStatus::Ok;
   std::vector<NoisePoint> points;
 
   /// Total integrated output noise over the analyzed band (V rms), by
@@ -28,8 +32,11 @@ struct NoiseResult {
 
 /// Noise analysis at `outputNode` over the given frequencies.  Gain for input
 /// referral is taken from the netlist's AC stimulus (if any source has a
-/// nonzero acMag).
+/// nonzero acMag).  The optional budget is charged one unit per frequency;
+/// a singular linearized system ends the analysis early via
+/// NoiseResult::status instead of throwing.
 NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
-                          const std::vector<double>& frequencies);
+                          const std::vector<double>& frequencies,
+                          core::EvalBudget* budget = nullptr);
 
 }  // namespace amsyn::sim

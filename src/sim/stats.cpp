@@ -4,10 +4,31 @@ namespace amsyn::sim {
 
 namespace {
 thread_local SimStats tlStats;
-}
+FailureStats gFailureStats;
+}  // namespace
 
 SimStats& simStats() { return tlStats; }
 
 void resetSimStats() { tlStats = SimStats{}; }
+
+FailureStats& failureStats() { return gFailureStats; }
+
+void resetFailureStats() {
+  for (auto& c : gFailureStats.byReason) c.store(0, std::memory_order_relaxed);
+  gFailureStats.strategyNewton.store(0, std::memory_order_relaxed);
+  gFailureStats.strategyGmin.store(0, std::memory_order_relaxed);
+  gFailureStats.strategySource.store(0, std::memory_order_relaxed);
+}
+
+void recordEvalFailure(core::EvalStatus reason) {
+  if (reason == core::EvalStatus::Ok || reason == core::EvalStatus::kCount) return;
+  gFailureStats.byReason[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t evalFailureCount(core::EvalStatus reason) {
+  return gFailureStats.byReason[static_cast<std::size_t>(reason)].load(
+      std::memory_order_relaxed);
+}
 
 }  // namespace amsyn::sim

@@ -1,12 +1,25 @@
-// Linear-solver traffic counters for the analyses in this module.  AC and
-// transient sweeps cache their LU factorization and re-factor only when the
-// matrix values change (sim/ac.cpp, sim/transient.cpp); these counters make
-// that observable — tests assert the factor/reuse split, benchmarks report
-// it.  Thread-local so concurrently running evaluations (core/parallel.hpp)
-// do not race; read the counters on the thread that ran the analysis.
+// Observability counters for the analyses in this module.
+//
+// Linear-solver traffic: AC and transient sweeps cache their LU
+// factorization and re-factor only when the matrix values change
+// (sim/ac.cpp, sim/transient.cpp); these counters make that observable —
+// tests assert the factor/reuse split, benchmarks report it.  Thread-local
+// so concurrently running evaluations (core/parallel.hpp) do not race; read
+// the counters on the thread that ran the analysis.
+//
+// Failure taxonomy: per-reason tallies of failed candidate evaluations and
+// continuation-strategy usage (newton/gmin/source).  These are
+// process-global atomics, not thread-local: an optimization run spreads its
+// evaluations across pool threads, and the interesting number is the total
+// over the run — which is deterministic at any thread count because the set
+// of evaluations is.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+
+#include "core/evalstatus.hpp"
 
 namespace amsyn::sim {
 
@@ -20,5 +33,24 @@ SimStats& simStats();
 
 /// Zero the calling thread's counters.
 void resetSimStats();
+
+/// Process-global failure/strategy tallies (see file comment).
+struct FailureStats {
+  /// Failed evaluations by reason, indexed by core::EvalStatus.
+  std::array<std::atomic<std::uint64_t>, core::kEvalStatusCount> byReason{};
+  /// DC operating points that converged via each continuation strategy.
+  std::atomic<std::uint64_t> strategyNewton{0};
+  std::atomic<std::uint64_t> strategyGmin{0};
+  std::atomic<std::uint64_t> strategySource{0};
+};
+
+FailureStats& failureStats();
+void resetFailureStats();
+
+/// Tally one failed evaluation under its reason code (no-op for Ok).
+void recordEvalFailure(core::EvalStatus reason);
+
+/// Convenience read of one reason counter.
+std::uint64_t evalFailureCount(core::EvalStatus reason);
 
 }  // namespace amsyn::sim

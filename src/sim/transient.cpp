@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
 namespace amsyn::sim {
@@ -90,26 +91,44 @@ struct JacobianCache {
   std::optional<num::LUD> lu;
 };
 
-bool newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt,
-                const TransientOptions& opts, JacobianCache& cache) {
+/// How one timestep's Newton iteration ended.  Failed (singular or NaN)
+/// steps feed the step-halving retry loop; Budget aborts the whole sweep.
+enum class StepOutcome { Converged, Failed, Budget };
+
+bool allFinite(const num::VecD& v) {
+  for (double e : v)
+    if (!std::isfinite(e)) return false;
+  return true;
+}
+
+StepOutcome newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt,
+                       const TransientOptions& opts, JacobianCache& cache) {
   const std::size_t n = mna.size();
   num::VecD f(n);
   for (std::size_t it = 0; it < opts.maxNewton; ++it) {
+    if (!consumeWork(opts.budget)) return StepOutcome::Budget;
     num::MatrixD jac(n, n);
     mna.assemble(x, aopt, &jac, &f);
+    // A poisoned iterate never recovers; bail to the halving loop now
+    // instead of burning the remaining maxNewton iterations on NaNs.
+    if (!allFinite(f)) return StepOutcome::Failed;
     if (cache.lu && cache.values.data() == jac.data()) {
       ++simStats().luReuses;
     } else {
       try {
+        if (FaultInjector::instance().armed() &&
+            FaultInjector::instance().takeLuFailure())
+          throw std::runtime_error("injected singular LU");
         cache.values = jac;
         cache.lu.emplace(std::move(jac));
       } catch (const std::runtime_error&) {
         cache.lu.reset();
-        return false;
+        return StepOutcome::Failed;
       }
       ++simStats().luFactorizations;
     }
     num::VecD dx = cache.lu->solve(f);
+    if (!allFinite(dx)) return StepOutcome::Failed;
     double maxDx = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double step = std::clamp(-dx[i], -1.0, 1.0);
@@ -118,19 +137,27 @@ bool newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt,
     }
     if (maxDx < opts.vAbsTol) {
       mna.assemble(x, aopt, nullptr, &f);
-      if (num::normInf(f) < opts.absTol) return true;
+      const double r = num::normInf(f);
+      if (!std::isfinite(r)) return StepOutcome::Failed;
+      if (r < opts.absTol) return StepOutcome::Converged;
     }
   }
-  return false;
+  return StepOutcome::Failed;
 }
 
 }  // namespace
 
 TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
                                   const TransientOptions& opts) {
-  if (!op.converged)
-    throw std::invalid_argument("transientAnalysis: operating point not converged");
   TransientResult res;
+  if (!op.converged) {
+    // A bad starting bias is infeasible data, not a programming error: the
+    // optimizer sees an empty, incomplete waveform with the reason attached.
+    res.status = op.status == core::EvalStatus::Ok ? core::EvalStatus::DcNoConvergence
+                                                   : op.status;
+    recordEvalFailure(res.status);
+    return res;
+  }
   res.time.push_back(0.0);
   res.states.push_back(op.x);
 
@@ -156,7 +183,14 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
       aopt.companions = &companions;
 
       num::VecD xTry = x;
-      if (newtonStep(mna, xTry, aopt, opts, jacCache)) {
+      const StepOutcome out = newtonStep(mna, xTry, aopt, opts, jacCache);
+      if (out == StepOutcome::Budget) {
+        res.completed = false;
+        res.status = core::EvalStatus::BudgetExhausted;
+        recordEvalFailure(res.status);
+        return res;  // partial waveform up to the last accepted point
+      }
+      if (out == StepOutcome::Converged) {
         std::map<std::size_t, CompanionState> next;
         refreshCompanions(mna, xTry, h, aopt.trapezoidal, companions, h, next);
         companions = std::move(next);
@@ -172,10 +206,13 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
     }
     if (!accepted) {
       res.completed = false;
+      res.status = core::EvalStatus::DcNoConvergence;
+      recordEvalFailure(res.status);
       return res;  // give up; caller sees partial waveform
     }
   }
   res.completed = true;
+  res.status = core::EvalStatus::Ok;
   return res;
 }
 

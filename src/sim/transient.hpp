@@ -18,10 +18,19 @@ struct TransientOptions {
   double absTol = 1e-9;
   double vAbsTol = 1e-6;
   std::size_t maxHalvings = 8;  ///< step-halving attempts per point
+  /// Optional work budget (one Newton iteration = one unit).  Exhaustion
+  /// ends the sweep early with EvalStatus::BudgetExhausted and a partial
+  /// waveform — a runaway transient degrades instead of hanging its worker.
+  core::EvalBudget* budget = nullptr;
 };
 
 struct TransientResult {
   bool completed = false;
+  /// Ok when the sweep reached tStop; otherwise why it stopped
+  /// (DcNoConvergence for a bad starting operating point, BudgetExhausted,
+  /// or DcNoConvergence-like step failure reported as NanDetected /
+  /// SingularJacobian / DcNoConvergence from the last step attempt).
+  core::EvalStatus status = core::EvalStatus::Ok;
   std::vector<double> time;
   std::vector<num::VecD> states;  ///< full MNA state at each time point
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/stats.hpp"
+
 namespace amsyn::sizing {
 
 CostFunction::CostFunction(const PerformanceModel& model, SpecSet specs, CostOptions opts)
@@ -14,7 +16,9 @@ double CostFunction::operator()(const std::vector<double>& x) const {
 CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const {
   evals_.fetch_add(1, std::memory_order_relaxed);
   Detail d;
-  d.performance = model_.evaluate(x);
+  // Containment boundary: exceptions and NaN scores become infeasible data.
+  d.performance = safeEvaluate(model_, x);
+  d.status = performanceStatus(d.performance);
 
   if (auto it = d.performance.find("_infeasible"); it != d.performance.end()) {
     d.penalty += opts_.infeasibleCost * it->second;
@@ -46,6 +50,22 @@ CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const 
                (!d.performance.count("_dc_residual") ||
                 d.performance.at("_dc_residual") < 1e-2);
   d.cost = d.penalty + d.objective;
+  // The cost must stay finite: annealers and GAs compare and subtract
+  // costs, and one NaN would poison every comparison after it.  A non-finite
+  // cost (NaN score that slipped into a penalty term, or an infinite
+  // violation) becomes a deterministic, very large penalty — far above any
+  // real infeasible evaluation, so such points still lose to everything.
+  if (!std::isfinite(d.cost)) {
+    if (d.status == core::EvalStatus::Ok) {
+      d.status = core::EvalStatus::NanDetected;
+      sim::recordEvalFailure(d.status);
+    }
+    markInfeasible(d.performance, d.status);
+    d.penalty = opts_.infeasibleCost * 1e3;
+    d.objective = 0.0;
+    d.cost = d.penalty;
+    d.feasible = false;
+  }
   return d;
 }
 

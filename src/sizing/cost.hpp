@@ -31,12 +31,18 @@ class CostFunction {
   /// Scalar cost at design point x.
   double operator()(const std::vector<double>& x) const;
 
-  /// Cost with the full evaluation attached (for reporting).
+  /// Cost with the full evaluation attached (for reporting).  detailed()
+  /// is total: a throwing model or a NaN anywhere in the evaluation yields
+  /// a large-but-finite cost with the reason in `status` — one poisoned
+  /// candidate can never abort or corrupt an optimization run.
   struct Detail {
     double cost = 0.0;
     double penalty = 0.0;
     double objective = 0.0;
     bool feasible = false;
+    /// Why the evaluation failed (Ok for clean evaluations, including
+    /// feasible-but-bad circuits).
+    core::EvalStatus status = core::EvalStatus::Ok;
     Performance performance;
   };
   Detail detailed(const std::vector<double>& x) const;

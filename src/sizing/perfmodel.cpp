@@ -1,0 +1,32 @@
+#include "sizing/perfmodel.hpp"
+
+#include "sim/stats.hpp"
+
+namespace amsyn::sizing {
+
+using core::EvalStatus;
+
+Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x) {
+  Performance perf;
+  try {
+    perf = model.evaluate(x);
+  } catch (...) {
+    // A throwing candidate is infeasible data, not a fatal error: the
+    // optimization loop must keep iterating past it (FRIDGE-style robust
+    // cost evaluation).
+    perf.clear();
+    markInfeasible(perf, EvalStatus::InternalError);
+    sim::recordEvalFailure(EvalStatus::InternalError);
+    return perf;
+  }
+  for (const auto& [name, value] : perf) {
+    if (std::isnan(value)) {
+      markInfeasible(perf, EvalStatus::NanDetected);
+      sim::recordEvalFailure(EvalStatus::NanDetected);
+      break;
+    }
+  }
+  return perf;
+}
+
+}  // namespace amsyn::sizing

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/evalstatus.hpp"
+
 namespace amsyn::sizing {
 
 /// One independent design variable with box bounds.  Log-scaled variables
@@ -29,6 +31,31 @@ struct DesignVariable {
 };
 
 using Performance = std::map<std::string, double>;
+
+/// Performance key carrying the structured failure reason: the value is the
+/// numeric core::EvalStatus code.  Present only on maps tagged by
+/// markInfeasible (spec-level infeasibility — a circuit that evaluated fine
+/// but is simply bad — stays untagged).
+inline constexpr const char* kEvalStatusKey = "_status";
+
+/// Mark a performance map infeasible with a structured reason.  The first
+/// reason sticks: later, more generic failures of the same evaluation do
+/// not overwrite the root cause.
+inline void markInfeasible(Performance& perf, core::EvalStatus reason) {
+  perf["_infeasible"] = 1.0;
+  perf.emplace(kEvalStatusKey, static_cast<double>(static_cast<int>(reason)));
+}
+
+/// Structured reason of a performance map; Ok when untagged (feasible, or
+/// infeasible for spec-level reasons rather than an evaluation failure).
+inline core::EvalStatus performanceStatus(const Performance& perf) {
+  const auto it = perf.find(kEvalStatusKey);
+  if (it == perf.end()) return core::EvalStatus::Ok;
+  const int code = static_cast<int>(it->second);
+  if (code < 0 || code >= static_cast<int>(core::kEvalStatusCount))
+    return core::EvalStatus::InternalError;
+  return static_cast<core::EvalStatus>(code);
+}
 
 /// Interface: map a design-variable vector to named performance numbers.
 class PerformanceModel {
@@ -48,6 +75,14 @@ class PerformanceModel {
 
   std::size_t dimension() const { return variables().size(); }
 };
+
+/// Total evaluation: never throws, never returns NaN scores.  An evaluator
+/// exception becomes {"_infeasible": 1, "_status": internal_error}; a NaN in
+/// any performance value marks the map infeasible with nan_detected (a NaN
+/// is a failed measurement, not a neutral score).  Both are tallied in
+/// sim::failureStats().  This is the containment boundary the corner search
+/// and any direct model consumer should call instead of evaluate().
+Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x);
 
 inline std::vector<double> PerformanceModel::initialPoint() const {
   std::vector<double> x;

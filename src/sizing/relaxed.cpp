@@ -6,6 +6,7 @@
 #include "awe/awe.hpp"
 #include "sim/dc.hpp"
 #include "sim/mna.hpp"
+#include "sim/stats.hpp"
 
 namespace amsyn::sizing {
 
@@ -57,7 +58,8 @@ Performance RelaxedDcModel::evaluate(const std::vector<double>& x) const {
   circuit::Netlist net = tmpl_.build(sizes);
   sim::Mna mna(net, proc_);
   if (state.size() != mna.size()) {
-    perf["_infeasible"] = 1.0;
+    markInfeasible(perf, core::EvalStatus::BadTopology);
+    sim::recordEvalFailure(core::EvalStatus::BadTopology);
     return perf;
   }
 
@@ -90,7 +92,8 @@ Performance RelaxedDcModel::evaluate(const std::vector<double>& x) const {
   // Small-signal characteristics from AWE on the Jacobian at this state.
   const auto outNode = net.findNode(tmpl_.outputNode);
   if (!outNode) {
-    perf["_infeasible"] = 1.0;
+    markInfeasible(perf, core::EvalStatus::BadTopology);
+    sim::recordEvalFailure(core::EvalStatus::BadTopology);
     return perf;
   }
   try {
@@ -121,10 +124,14 @@ Performance RelaxedDcModel::evaluate(const std::vector<double>& x) const {
       perf["ugf"] = ugf;
       perf["pm"] = 180.0 + phaseAtUgf;
     } else {
-      perf["_infeasible"] = 1.0;
+      markInfeasible(perf, core::EvalStatus::NoAcCrossing);
+      sim::recordEvalFailure(core::EvalStatus::NoAcCrossing);
     }
   } catch (const std::exception&) {
-    perf["_infeasible"] = 1.0;
+    // AWE blew up on this state (singular moment matrix, over-ordered
+    // Hankel system): infeasible data with the reason attached.
+    markInfeasible(perf, core::EvalStatus::SingularJacobian);
+    sim::recordEvalFailure(core::EvalStatus::SingularJacobian);
   }
   return perf;
 }

@@ -6,9 +6,12 @@
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
 #include "sim/noise.hpp"
+#include "sim/stats.hpp"
 #include "sim/transient.hpp"
 
 namespace amsyn::sizing {
+
+using core::EvalStatus;
 
 SimulationModel::SimulationModel(CircuitTemplate tmpl, const circuit::Process& proc,
                                  SimModelOptions opts)
@@ -17,86 +20,131 @@ SimulationModel::SimulationModel(CircuitTemplate tmpl, const circuit::Process& p
 Performance SimulationModel::evaluate(const std::vector<double>& x) const {
   ++evals_;
   Performance perf;
-  circuit::Netlist net = tmpl_.build(x);
-  sim::Mna mna(net, proc_);
 
-  // Mid-rail start: feedback-biased benches latch when started from zero.
-  const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc_.vdd / 2));
-  if (!op.converged) {
-    perf["_infeasible"] = 1.0;
+  // A candidate that cannot even be built into a netlist is bad topology,
+  // distinct from a numerical failure downstream.
+  circuit::Netlist net;
+  try {
+    net = tmpl_.build(x);
+  } catch (...) {
+    markInfeasible(perf, EvalStatus::BadTopology);
+    sim::recordEvalFailure(EvalStatus::BadTopology);
     return perf;
   }
-  if (opts_.outputMustBeInterior) {
-    const double vout = mna.nodeVoltage(op.x, *net.findNode(tmpl_.outputNode));
-    if (vout < opts_.interiorMargin || vout > proc_.vdd - opts_.interiorMargin) {
-      perf["_infeasible"] = 1.0;  // output stuck at a rail (latched bias)
+
+  // One deterministic work budget funds every analysis of this evaluation
+  // (Newton iterations in DC/transient, solves per AC/noise frequency).
+  core::EvalBudget budget(opts_.workBudget, opts_.cancel);
+
+  try {
+    sim::Mna mna(net, proc_);
+    sim::DcOptions dopts;
+    dopts.budget = &budget;
+
+    // Mid-rail start: feedback-biased benches latch when started from zero.
+    const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc_.vdd / 2), dopts);
+    if (!op.converged) {
+      markInfeasible(perf, op.status);  // dc already tallied the failure
       return perf;
     }
-  }
-
-  perf["power"] = sim::staticPower(mna, op);
-  perf["area"] = net.totalGateArea();
-
-  const auto freqs = sim::logspace(opts_.fStart, opts_.fStop, opts_.pointsPerDecade);
-  const auto sweep = sim::acAnalysis(mna, op, tmpl_.outputNode, freqs);
-  perf["gain_db"] = sim::dcGainDb(sweep);
-  const auto ugf = sim::unityGainFrequency(sweep);
-  const auto pm = sim::phaseMarginDeg(sweep);
-  if (!ugf || !pm) {
-    perf["_infeasible"] = 1.0;
-    return perf;
-  }
-  perf["ugf"] = *ugf;
-  perf["pm"] = *pm;
-
-  // Output swing estimated from the output-stage overdrives: the stage is
-  // linear while its devices remain saturated.
-  double swingLo = 0.0, swingHi = proc_.vdd;
-  const auto ops = mna.mosOperatingPoints(op.x);
-  for (const auto& [name, mop] : ops) {
-    if (name == "M6") swingHi = proc_.vdd - std::max(0.0, mop.vov);
-    if (name == "M7") swingLo = std::max(0.0, mop.vov);
-    if (name == "M4") swingHi = std::min(swingHi, proc_.vdd - std::max(0.0, mop.vov));
-  }
-  perf["swing"] = std::max(0.0, swingHi - swingLo);
-
-  if (opts_.measureNoise) {
-    const auto nz = sim::noiseAnalysis(mna, op, tmpl_.outputNode,
-                                       {opts_.noiseSpotFrequency});
-    perf["noise_nv"] = std::sqrt(nz.points.at(0).inputReferredPsd) * 1e9;
-  }
-
-  // Slew rate: either a (slow) transient measurement or the classic
-  // tail-current estimate from the operating point.
-  if (opts_.measureSlewTransient) {
-    circuit::Netlist tnet = tmpl_.build(x);
-    if (auto* vin = tnet.findDevice("VINP")) {
-      vin->waveform.kind = circuit::Waveform::Kind::Pulse;
-      vin->waveform.v1 = vin->value - 0.5;
-      vin->waveform.v2 = vin->value + 0.5;
-      vin->waveform.delay = 1e-7;
-      vin->waveform.rise = 1e-9;
-      vin->waveform.width = 1.0;
-      vin->waveform.period = 2.0;
-      sim::Mna tmna(tnet, proc_);
-      const auto top = sim::dcOperatingPoint(tmna);
-      if (top.converged) {
-        sim::TransientOptions topts;
-        topts.tStop = 2e-6;
-        topts.tStep = 2e-9;
-        const auto tr = sim::transientAnalysis(tmna, top, topts);
-        if (tr.completed)
-          perf["slew"] = sim::maxSlewRate(tr.time, tr.nodeWaveform(tmna, tmpl_.outputNode));
+    if (opts_.outputMustBeInterior) {
+      const double vout = mna.nodeVoltage(op.x, *net.findNode(tmpl_.outputNode));
+      if (vout < opts_.interiorMargin || vout > proc_.vdd - opts_.interiorMargin) {
+        perf["_infeasible"] = 1.0;  // output stuck at a rail (latched bias):
+        return perf;                // a bad circuit, not an eval failure
       }
     }
-  } else {
-    // I(tail) / Cc estimate when the template exposes them.
-    double itail = 0.0, cc = 0.0;
-    for (const auto& [name, mop] : ops)
-      if (name == "M5") itail = std::abs(mop.ids);
-    for (const auto& d : net.devices())
-      if (d.name == "CC") cc = d.value;
-    if (itail > 0 && cc > 0) perf["slew"] = itail / cc;
+
+    perf["power"] = sim::staticPower(mna, op);
+    perf["area"] = net.totalGateArea();
+
+    const auto freqs = sim::logspace(opts_.fStart, opts_.fStop, opts_.pointsPerDecade);
+    const auto sweep = sim::acAnalysis(mna, op, tmpl_.outputNode, freqs, &budget);
+    if (sweep.status != EvalStatus::Ok) {
+      markInfeasible(perf, sweep.status);
+      return perf;
+    }
+    perf["gain_db"] = sim::dcGainDb(sweep);
+    const auto ugf = sim::unityGainFrequency(sweep);
+    const auto pm = sim::phaseMarginDeg(sweep);
+    if (!ugf || !pm) {
+      markInfeasible(perf, EvalStatus::NoAcCrossing);
+      sim::recordEvalFailure(EvalStatus::NoAcCrossing);
+      return perf;
+    }
+    perf["ugf"] = *ugf;
+    perf["pm"] = *pm;
+
+    // Output swing estimated from the output-stage overdrives: the stage is
+    // linear while its devices remain saturated.
+    double swingLo = 0.0, swingHi = proc_.vdd;
+    const auto ops = mna.mosOperatingPoints(op.x);
+    for (const auto& [name, mop] : ops) {
+      if (name == "M6") swingHi = proc_.vdd - std::max(0.0, mop.vov);
+      if (name == "M7") swingLo = std::max(0.0, mop.vov);
+      if (name == "M4") swingHi = std::min(swingHi, proc_.vdd - std::max(0.0, mop.vov));
+    }
+    perf["swing"] = std::max(0.0, swingHi - swingLo);
+
+    if (opts_.measureNoise) {
+      const auto nz = sim::noiseAnalysis(mna, op, tmpl_.outputNode,
+                                         {opts_.noiseSpotFrequency}, &budget);
+      if (nz.status != EvalStatus::Ok) {
+        markInfeasible(perf, nz.status);
+        return perf;
+      }
+      perf["noise_nv"] = std::sqrt(nz.points.at(0).inputReferredPsd) * 1e9;
+    }
+
+    // Slew rate: either a (slow) transient measurement or the classic
+    // tail-current estimate from the operating point.
+    if (opts_.measureSlewTransient) {
+      circuit::Netlist tnet = tmpl_.build(x);
+      if (auto* vin = tnet.findDevice("VINP")) {
+        vin->waveform.kind = circuit::Waveform::Kind::Pulse;
+        vin->waveform.v1 = vin->value - 0.5;
+        vin->waveform.v2 = vin->value + 0.5;
+        vin->waveform.delay = 1e-7;
+        vin->waveform.rise = 1e-9;
+        vin->waveform.width = 1.0;
+        vin->waveform.period = 2.0;
+        sim::Mna tmna(tnet, proc_);
+        const auto top = sim::dcOperatingPoint(tmna, dopts);
+        if (top.status == EvalStatus::BudgetExhausted) {
+          markInfeasible(perf, top.status);
+          return perf;
+        }
+        if (top.converged) {
+          sim::TransientOptions topts;
+          topts.tStop = 2e-6;
+          topts.tStep = 2e-9;
+          topts.budget = &budget;
+          const auto tr = sim::transientAnalysis(tmna, top, topts);
+          if (tr.status == EvalStatus::BudgetExhausted) {
+            // A runaway transient degrades to budget_exhausted, keeping the
+            // DC/AC measurements already made as partial results.
+            markInfeasible(perf, tr.status);
+            return perf;
+          }
+          if (tr.completed)
+            perf["slew"] =
+                sim::maxSlewRate(tr.time, tr.nodeWaveform(tmna, tmpl_.outputNode));
+        }
+      }
+    } else {
+      // I(tail) / Cc estimate when the template exposes them.
+      double itail = 0.0, cc = 0.0;
+      for (const auto& [name, mop] : ops)
+        if (name == "M5") itail = std::abs(mop.ids);
+      for (const auto& d : net.devices())
+        if (d.name == "CC") cc = d.value;
+      if (itail > 0 && cc > 0) perf["slew"] = itail / cc;
+    }
+  } catch (...) {
+    // Anything the analyses threw (bad node names from a malformed template,
+    // allocation failure, ...) is contained at this boundary.
+    markInfeasible(perf, EvalStatus::InternalError);
+    sim::recordEvalFailure(EvalStatus::InternalError);
   }
 
   return perf;

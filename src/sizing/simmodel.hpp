@@ -28,6 +28,14 @@ struct SimModelOptions {
   /// (the latched solution of a feedback-biased open-loop bench).
   bool outputMustBeInterior = true;
   double interiorMargin = 0.15;  ///< volts from either rail
+  /// Per-evaluation work budget in Newton-iteration units (0 = unlimited).
+  /// An evaluation that exhausts it returns whatever it measured so far,
+  /// marked infeasible with budget_exhausted — deterministically, because
+  /// work units are counted, not wall clock.
+  std::uint64_t workBudget = 0;
+  /// Optional cooperative cancel flag shared by every evaluation (e.g. a
+  /// whole-run abort).  Checked at the same points as the budget.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Generic netlist-producing template: design vector -> testbench netlist.
@@ -49,9 +57,11 @@ class SimulationModel : public PerformanceModel {
   }
 
   /// Performances: gain_db, ugf, pm, power, noise_nv (when enabled), swing,
-  /// area (gate area), slew (when transient enabled).  Reports
-  /// {"_infeasible": 1} when the DC operating point fails or the amplifier
-  /// has no unity-gain crossing.
+  /// area (gate area), slew (when transient enabled).  Total: a failed
+  /// analysis reports {"_infeasible": 1, "_status": <reason>} (see
+  /// kEvalStatusKey) with whatever it could compute, and an exception
+  /// anywhere inside becomes bad_topology (netlist construction) or
+  /// internal_error instead of escaping into the optimizer.
   Performance evaluate(const std::vector<double>& x) const override;
 
   /// Number of full simulator invocations so far (for the Fig. 1 runtime

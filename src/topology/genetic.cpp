@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/parallel.hpp"
 #include "numeric/rng.hpp"
+#include "sim/stats.hpp"
 
 namespace amsyn::topology {
 
@@ -51,11 +53,25 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
   // from one RNG stream, then the whole batch is scored concurrently.
   // Scoring draws no random numbers, so the RNG stream — and therefore the
   // result — is bit-identical to a fully serial run at any thread count.
+  // Error-capture mode: CostFunction::detailed is already total, but a
+  // malformed custom model can still throw from decode (bad variable list)
+  // or from outside the cost containment.  Capturing per index keeps one
+  // poisoned individual from aborting its siblings — their scores stay
+  // bit-identical to a failure-free run.
   auto evaluateBatch = [&](std::vector<Individual>& batch, std::size_t first) {
-    core::parallelFor(batch.size() - first, [&](std::size_t i) {
+    const auto errs = core::parallelForCaptured(batch.size() - first, [&](std::size_t i) {
       Individual& ind = batch[first + i];
       ind.fitness = -(*costs[ind.topo])(decode(ind));
+      if (std::isnan(ind.fitness)) {  // belt and suspenders: never let NaN
+        ind.fitness = -std::numeric_limits<double>::infinity();  // win a tournament
+        sim::recordEvalFailure(core::EvalStatus::NanDetected);
+      }
     });
+    for (std::size_t i = 0; i < errs.size(); ++i) {
+      if (!errs[i]) continue;
+      batch[first + i].fitness = -std::numeric_limits<double>::infinity();
+      sim::recordEvalFailure(core::EvalStatus::InternalError);
+    }
     result.evaluations += batch.size() - first;
   };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "sim/stats.hpp"
 
 namespace amsyn::topology {
 
@@ -38,6 +41,7 @@ std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
     Candidate c;
     c.name = e.name;
     c.score = std::numeric_limits<double>::infinity();  // min margin
+    bool nanMargin = false;
     for (const Spec& s : specs.specs()) {
       if (s.isObjective()) continue;
       auto it = e.bounds.find(s.performance);
@@ -58,9 +62,25 @@ std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
         c.reasons.push_back(s.describe() + " outside achievable [" +
                             std::to_string(b.lo()) + ", " + std::to_string(b.hi()) + "]");
       }
-      c.score = std::min(c.score, margin);
+      // std::min would silently discard a NaN in its second argument, so the
+      // margin must be checked before it enters the reduction.
+      if (std::isnan(margin))
+        nanMargin = true;
+      else
+        c.score = std::min(c.score, margin);
     }
-    if (!std::isfinite(c.score)) c.score = 0.0;
+    if (nanMargin || std::isnan(c.score)) {
+      // A NaN margin (NaN bound or spec normalization) used to be silently
+      // clamped to 0.0 — a neutral score that could rank the entry above
+      // legitimate candidates, and a strict-weak-ordering violation in the
+      // sort below.  It is infeasible data: rank it below every real score.
+      c.feasible = false;
+      c.score = -std::numeric_limits<double>::infinity();
+      c.reasons.push_back("nan_detected: margin evaluation produced NaN");
+      sim::recordEvalFailure(core::EvalStatus::NanDetected);
+    } else if (!std::isfinite(c.score)) {
+      c.score = 0.0;  // no constraint consulted: neutral
+    }
     out.push_back(std::move(c));
   }
   std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {

@@ -136,7 +136,11 @@ R1 vdd out 10k
 M1 out g 0 0 NMOS W=20u L=1u
 .end)");
   sim::Mna mna(net, proc());
-  const auto curve = sim::dcTransfer(mna, "VG", 0.0, 5.0, 26, "out");
+  const auto transfer = sim::dcTransfer(mna, "VG", 0.0, 5.0, 26, "out");
+  const auto& curve = transfer.curve;
+  EXPECT_EQ(transfer.requested, 26u);
+  EXPECT_EQ(transfer.skipped, 0u);
+  EXPECT_EQ(transfer.status, amsyn::core::EvalStatus::Ok);
   ASSERT_GE(curve.size(), 20u);
   // Monotone non-increasing.
   for (std::size_t i = 1; i < curve.size(); ++i)
@@ -421,8 +425,10 @@ R1 vdd out 10k
 M1 out g 0 0 NMOS W=20u L=1u
 .end)");
   sim::Mna mna(net, proc());
-  const auto curve = sim::dcTransfer(mna, "VG", 0.0, 5.0, 51, "out");
-  const auto swing = sim::outputSwing(curve);
+  const auto transfer = sim::dcTransfer(mna, "VG", 0.0, 5.0, 51, "out");
+  const auto swing = sim::outputSwing(transfer);
+  EXPECT_TRUE(swing.valid);
+  EXPECT_EQ(swing.unconvergedPoints, 0u);
   EXPECT_LT(swing.low, 1.0);
   EXPECT_GT(swing.high, 3.0);
 }
