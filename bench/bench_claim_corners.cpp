@@ -15,6 +15,7 @@
 
 #include "core/parallel.hpp"
 #include "core/report.hpp"
+#include "core/runreport.hpp"
 #include "core/threadpool.hpp"
 #include "manufacture/corners.hpp"
 #include "manufacture/yield.hpp"
@@ -123,18 +124,28 @@ void writeJson() {
                          serial.res.robust.cost == parallel.res.robust.cost &&
                          serial.res.activeCorners == parallel.res.activeCorners;
 
-  std::ofstream out("BENCH_corners.json");
-  out << "{\n"
-      << "  \"benchmark\": \"corner_aware_synthesis\",\n"
-      << "  \"seconds_1_thread\": " << serial.seconds << ",\n"
-      << "  \"threads\": " << threads << ",\n"
-      << "  \"seconds_n_threads\": " << parallel.seconds << ",\n"
-      << "  \"speedup\": " << serial.seconds / std::max(parallel.seconds, 1e-12) << ",\n"
-      << "  \"results_bit_identical\": " << (identical ? "true" : "false") << ",\n"
-      << "  \"robust_evaluations\": " << parallel.res.robustEvaluations << ",\n"
-      << "  \"nominal_evaluations\": " << parallel.res.nominalEvaluations << ",\n"
-      << "  \"active_corners\": " << parallel.res.activeCorners << "\n"
-      << "}\n";
+  // Shared run-report schema (core/runreport.hpp): the caller-supplied
+  // values keep their historical keys, and the registry/span sections ride
+  // along — per-phase wall times, LU factor/reuse split, failure histogram.
+  core::RunReport report;
+  report.name = "corner_aware_synthesis";
+  report.addInfo("benchmark", "corner_aware_synthesis");
+  report.addValue("seconds_1_thread", serial.seconds)
+      .addValue("threads", static_cast<double>(threads))
+      .addValue("seconds_n_threads", parallel.seconds)
+      .addValue("speedup", serial.seconds / std::max(parallel.seconds, 1e-12))
+      .addValue("results_bit_identical", identical ? 1.0 : 0.0)
+      .addValue("robust_evaluations", parallel.res.robustEvaluations)
+      .addValue("nominal_evaluations", parallel.res.nominalEvaluations)
+      .addValue("active_corners", static_cast<double>(parallel.res.activeCorners))
+      // The section-2.2 claim, measured directly: corner-search phase wall
+      // time over nominal-sizing phase wall time (paper: roughly 4x-10x).
+      .addValue("nominal_sizing_seconds", parallel.res.nominalSeconds)
+      .addValue("corner_search_seconds", parallel.res.cornerSearchSeconds)
+      .addValue("corner_to_nominal_time_ratio",
+                parallel.res.cornerSearchSeconds /
+                    std::max(parallel.res.nominalSeconds, 1e-12));
+  report.write("BENCH_corners.json");
   std::cout << "wrote BENCH_corners.json: " << serial.seconds << " s at 1 thread, "
             << parallel.seconds << " s at " << threads
             << " threads, identical=" << (identical ? "yes" : "NO") << "\n\n";

@@ -17,6 +17,7 @@
 
 #include "core/parallel.hpp"
 #include "core/report.hpp"
+#include "core/runreport.hpp"
 #include "core/threadpool.hpp"
 #include "sizing/eqmodel.hpp"
 #include "sizing/relaxed.hpp"
@@ -107,18 +108,21 @@ void writeJson() {
   const double s1 = batchSeconds(1);
   const double sn = batchSeconds(threads);
 
-  std::ofstream out("BENCH_eval_speed.json");
-  out << "{\n"
-      << "  \"benchmark\": \"evaluation_speed\",\n"
-      << "  \"us_per_eval_equations\": " << usEq << ",\n"
-      << "  \"us_per_eval_relaxed_awe\": " << usRelaxed << ",\n"
-      << "  \"us_per_eval_full_simulation\": " << usSim << ",\n"
-      << "  \"batch_size\": " << kBatch << ",\n"
-      << "  \"batch_seconds_1_thread\": " << s1 << ",\n"
-      << "  \"threads\": " << threads << ",\n"
-      << "  \"batch_seconds_n_threads\": " << sn << ",\n"
-      << "  \"batch_speedup\": " << s1 / std::max(sn, 1e-12) << "\n"
-      << "}\n";
+  // Shared run-report schema (core/runreport.hpp): historical keys plus the
+  // registry snapshot — LU factor/reuse split, Newton iterations, and the
+  // failure histogram accumulated by the evaluations above.
+  core::RunReport report;
+  report.name = "evaluation_speed";
+  report.addInfo("benchmark", "evaluation_speed");
+  report.addValue("us_per_eval_equations", usEq)
+      .addValue("us_per_eval_relaxed_awe", usRelaxed)
+      .addValue("us_per_eval_full_simulation", usSim)
+      .addValue("batch_size", static_cast<double>(kBatch))
+      .addValue("batch_seconds_1_thread", s1)
+      .addValue("threads", static_cast<double>(threads))
+      .addValue("batch_seconds_n_threads", sn)
+      .addValue("batch_speedup", s1 / std::max(sn, 1e-12));
+  report.write("BENCH_eval_speed.json");
   std::cout << "wrote BENCH_eval_speed.json: batch of " << kBatch << " relaxed-dc evals "
             << s1 << " s at 1 thread, " << sn << " s at " << threads << " threads\n\n";
 }

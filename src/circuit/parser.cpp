@@ -48,19 +48,36 @@ double parseValue(const std::string& token) {
   }
   const std::string suffix = t.substr(pos);
   if (suffix.empty()) return base;
-  if (suffix.rfind("meg", 0) == 0) return base * 1e6;
-  switch (suffix[0]) {
-    case 'f': return base * 1e-15;
-    case 'p': return base * 1e-12;
-    case 'n': return base * 1e-9;
-    case 'u': return base * 1e-6;
-    case 'm': return base * 1e-3;
-    case 'k': return base * 1e3;
-    case 'g': return base * 1e9;
-    case 't': return base * 1e12;
-    default:
-      throw std::invalid_argument("parseValue: unknown suffix in " + token);
+  // SPICE semantics: an optional scale factor, then an arbitrary alphabetic
+  // unit tail that is ignored ("2.5v" = 2.5, "100mhz" = 0.1 since m is
+  // milli, "1kohm" = 1e3).  "meg" must be matched before "m": "1megohm" is
+  // 1e6 while "1mohm" is 1e-3.  A first letter that is not a scale factor
+  // starts a pure unit ("2.5v"), scale 1.
+  double scale = 1.0;
+  std::size_t consumed = 0;
+  if (suffix.rfind("meg", 0) == 0) {
+    scale = 1e6;
+    consumed = 3;
+  } else {
+    switch (suffix[0]) {
+      case 'f': scale = 1e-15; consumed = 1; break;
+      case 'p': scale = 1e-12; consumed = 1; break;
+      case 'n': scale = 1e-9; consumed = 1; break;
+      case 'u': scale = 1e-6; consumed = 1; break;
+      case 'm': scale = 1e-3; consumed = 1; break;
+      case 'k': scale = 1e3; consumed = 1; break;
+      case 'g': scale = 1e9; consumed = 1; break;
+      case 't': scale = 1e12; consumed = 1; break;
+      default: break;  // pure unit tail, e.g. "v" or "ohm"
+    }
   }
+  const std::string tail = suffix.substr(consumed);
+  const bool tailIsUnit = std::all_of(tail.begin(), tail.end(), [](unsigned char c) {
+    return std::isalpha(c) != 0;
+  });
+  if (!tailIsUnit)
+    throw std::invalid_argument("parseValue: unknown suffix in " + token);
+  return base * scale;
 }
 
 Netlist parseDeck(const std::string& deck) {

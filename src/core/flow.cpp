@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/runreport.hpp"
+#include "core/trace.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
@@ -17,6 +19,7 @@ namespace amsyn::core {
 
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
                                      const circuit::Process& proc) {
+  AMSYN_SPAN("measure");
   sizing::Performance perf;
   try {
     sim::Mna mna(net, proc);
@@ -51,6 +54,7 @@ sizing::Performance measureAmplifier(const circuit::Netlist& net,
 
 FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Process& proc,
                                const FlowOptions& opts) {
+  AMSYN_SPAN("flow");
   FlowResult result;
 
   // Verification passes only judge constraint specs the simulator measures.
@@ -201,7 +205,10 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
     // --- bottom-up: layout + extraction ---
     CellLayoutOptions lopts = opts.layout;
     lopts.seed = opts.seed + attempt;
-    result.cell = layoutCell(schematic, proc, lopts);
+    {
+      AMSYN_SPAN("flow_layout");
+      result.cell = layoutCell(schematic, proc, lopts);
+    }
     if (!result.cell.success) {
       result.failureReason = "cell layout failed (placement/routing)";
       result.failureStatus = EvalStatus::Ok;
@@ -232,6 +239,27 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
       result.failureReason += std::string(": ") + evalStatusName(result.failureStatus);
   }
   return result;
+}
+
+std::string flowRunReportJson(const FlowResult& result) {
+  RunReport report;
+  report.name = "flow";
+  report.addInfo("topology", result.topology)
+      .addInfo("failure_reason", result.failureReason)
+      .addInfo("failure_status", evalStatusName(result.failureStatus));
+  report.addValue("success", result.success ? 1.0 : 0.0)
+      .addValue("redesigns", static_cast<double>(result.redesigns))
+      .addValue("verifications", static_cast<double>(result.verifications.size()));
+  for (std::size_t i = 0; i < result.verifications.size(); ++i) {
+    const auto& v = result.verifications[i];
+    const std::string prefix = "verify." + std::to_string(i) + ".";
+    report.addInfo(prefix + "stage", v.stage);
+    report.addValue(prefix + "passed", v.passed ? 1.0 : 0.0);
+    for (const char* key : {"gain_db", "ugf", "pm", "power"})
+      if (auto it = v.measured.find(key); it != v.measured.end())
+        report.addValue(prefix + key, it->second);
+  }
+  return report.toJson();
 }
 
 }  // namespace amsyn::core

@@ -67,4 +67,9 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
                                      const circuit::Process& proc);
 
+/// Structured JSON run report for a completed flow: outcome, per-stage
+/// verification verdicts, plus the process-wide metrics-registry snapshot
+/// and trace-span aggregate (schema in core/runreport.hpp).
+std::string flowRunReportJson(const FlowResult& result);
+
 }  // namespace amsyn::core

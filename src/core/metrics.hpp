@@ -1,0 +1,126 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// behind every observability number in amsyn (LU factorization traffic,
+// annealing move totals, maze-router expansions, failure-reason tallies).
+//
+// Design: counters and histograms are sharded per thread.  Registration
+// (name -> id) is the cold path and takes a mutex; the hot path — add() /
+// record() on an id — touches only the calling thread's shard with relaxed
+// atomics, so concurrently evaluating pool workers never contend on a
+// counter cacheline.  Aggregation walks every live shard plus the retired
+// totals of exited threads, which is how worker-thread increments reach the
+// caller: totals are correct and thread-count-invariant because integer sums
+// are order-free (this is the fix for the PR-1 thread-local LU counters,
+// which were silently dropped whenever an analysis ran on a pool thread).
+//
+// Layering: this library sits at the very bottom (Threads only), below
+// amsyn_sim and amsyn_numeric, mirroring core/evalstatus.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amsyn::core::metrics {
+
+/// Fixed shard capacities: a shard is a flat array of atomics, so ids are
+/// stable for the process lifetime and slots are never reallocated under a
+/// concurrent reader.  Exceeding these is a registration error (cold path).
+inline constexpr std::size_t kMaxCounters = 192;
+inline constexpr std::size_t kMaxHistograms = 48;
+
+struct CounterId {
+  std::uint32_t idx = 0;
+};
+struct HistogramId {
+  std::uint32_t idx = 0;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Point-in-time aggregate over all shards, retired threads, and external
+/// (callback-backed) counters.  Keys are metric names; maps keep the output
+/// order deterministic.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.  Never destroyed (leaked on purpose), so
+  /// thread-exit hooks and static destructors can always reach it.
+  static Registry& instance();
+
+  /// Register (or look up) a counter by name.  Idempotent; cold path.
+  CounterId counter(const std::string& name);
+  HistogramId histogram(const std::string& name);
+
+  /// Register a read-only external counter (e.g. a legacy process-global
+  /// atomic) surfaced through snapshots under `name`.  Idempotent by name;
+  /// the reader must be callable from any thread.  External counters are the
+  /// registry's bridge for stats whose storage cannot move (tests poke the
+  /// sim::FailureStats atomics directly), and they are not zeroed by reset().
+  void registerExternal(const std::string& name, std::function<std::uint64_t()> reader);
+
+  /// Gauges are last-write-wins process globals (set rarely; mutex).
+  void setGauge(const std::string& name, double value);
+
+  // --- hot path (lock-free: calling thread's shard, relaxed atomics) ---
+  void add(CounterId id, std::uint64_t delta = 1);
+  void record(HistogramId id, double value);
+
+  /// Value accumulated by the *calling thread only* since the last reset().
+  /// This is what the thread-local sim::SimStats shim reads.
+  std::uint64_t threadValue(CounterId id) const;
+
+  /// Aggregate of one counter over every shard (live + retired).  Does not
+  /// consult external counters; use total(name) for those.
+  std::uint64_t total(CounterId id) const;
+  /// Aggregate by name: native counter if registered, else external reader,
+  /// else 0.
+  std::uint64_t total(const std::string& name) const;
+
+  /// Copy the calling thread's first `count` counter slots into `out`
+  /// (trace spans snapshot these to compute per-span metric deltas).
+  void threadCounterSnapshot(std::uint64_t* out, std::size_t count) const;
+  /// Number of registered native counters (ids below this are valid).
+  std::size_t counterCount() const;
+  /// Name of a native counter id (empty when out of range).
+  std::string counterName(std::uint32_t idx) const;
+
+  Snapshot snapshot() const;
+
+  /// Zero every native counter/histogram shard (live and retired) and clear
+  /// gauges.  External counters keep whatever their source holds.  Callers
+  /// must be quiescent: concurrent add() during reset() is not torn (slots
+  /// are atomics) but increments may land on either side of the zeroing.
+  void reset();
+
+  /// Implementation state; the type is public only so the per-thread shard
+  /// handle (a file-local thread_local in metrics.cpp) can hold a pointer
+  /// back to it for its thread-exit retirement hook.
+  struct Impl;
+
+ private:
+  Registry() = default;
+  Impl& impl() const;
+};
+
+// Convenience free functions for call sites.
+inline void add(CounterId id, std::uint64_t delta = 1) {
+  Registry::instance().add(id, delta);
+}
+inline void record(HistogramId id, double value) {
+  Registry::instance().record(id, value);
+}
+
+}  // namespace amsyn::core::metrics

@@ -6,6 +6,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
+
 namespace amsyn::layout {
 
 using geom::CellInstance;
@@ -251,6 +254,7 @@ Placement compactPlacement(
 
 Placement placeCells(const std::vector<PlacementComponent>& components,
                      const PlacerOptions& opts) {
+  AMSYN_SPAN("placement");
   if (components.empty()) throw std::invalid_argument("placeCells: nothing to place");
   for (const auto& c : components)
     if (c.variants.empty())
@@ -390,6 +394,14 @@ Placement placeCells(const std::vector<PlacementComponent>& components,
   aopts.seed = opts.seed;
   aopts.problemSizeHint = std::max<std::size_t>(components.size(), 8);
   const auto stats = num::anneal(prob, aopts);
+  // KOAN-style placement traffic, distinct from the sizing anneals that
+  // share the generic anneal.* counters.
+  static const auto cMoves =
+      core::metrics::Registry::instance().counter("place.moves_attempted");
+  static const auto cAccepts =
+      core::metrics::Registry::instance().counter("place.moves_accepted");
+  core::metrics::add(cMoves, stats.movesAttempted);
+  core::metrics::add(cAccepts, stats.movesAccepted);
 
   // Legalize the best solution if overlaps survived: push instances apart
   // along x in left-to-right order.

@@ -10,6 +10,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
+
 namespace amsyn::layout {
 
 using geom::CellInstance;
@@ -112,6 +115,8 @@ class Grid {
 RouteResult routeCells(const std::vector<CellInstance>& placed,
                        const std::vector<RouteNet>& nets, const circuit::Process& proc,
                        const RouterOptions& opts) {
+  AMSYN_SPAN("routing");
+  std::uint64_t expansions = 0;  // maze-search node visits, all nets/passes
   RouteResult result;
   result.layout.instances = placed;
 
@@ -212,6 +217,7 @@ RouteResult routeCells(const std::vector<CellInstance>& placed,
         while (!pq.empty()) {
           const auto [d, n] = pq.top();
           pq.pop();
+          ++expansions;
           if (d != dist[n]) continue;
           if (targets.count(n)) {
             found = n;
@@ -407,6 +413,11 @@ RouteResult routeCells(const std::vector<CellInstance>& placed,
       }
       result.crosstalkExposureLambda = exposure;
       result.allRouted = failed.empty();
+      // One registry touch per routing run: the maze loop itself only bumps
+      // a local tally.
+      static const auto cExpansions =
+          core::metrics::Registry::instance().counter("route.expansions");
+      core::metrics::add(cExpansions, expansions);
       return result;
     }
 

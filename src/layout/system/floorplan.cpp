@@ -86,8 +86,16 @@ struct EvalNode {
 
 /// Non-dominated merge of shape options.
 void prune(std::vector<ShapeOption>& opts) {
+  // Equal (w, h) options can differ in provenance (child choices, rotation),
+  // and which one survives pruning decides the reconstructed layout.
+  // std::sort is unstable, so break the tie deterministically: prefer the
+  // unrotated option, then the lowest child indices.
   std::sort(opts.begin(), opts.end(), [](const ShapeOption& a, const ShapeOption& b) {
-    return a.w != b.w ? a.w < b.w : a.h < b.h;
+    if (a.w != b.w) return a.w < b.w;
+    if (a.h != b.h) return a.h < b.h;
+    if (a.rotated != b.rotated) return b.rotated;
+    if (a.leftChoice != b.leftChoice) return a.leftChoice < b.leftChoice;
+    return a.rightChoice < b.rightChoice;
   });
   std::vector<ShapeOption> keep;
   Coord bestH = std::numeric_limits<Coord>::max();

@@ -66,6 +66,8 @@ struct RobustResult {
   std::size_t rounds = 0;
   double nominalEvaluations = 0;     ///< model evaluations, nominal run
   double robustEvaluations = 0;      ///< model evaluations, corner-aware run
+  double nominalSeconds = 0;         ///< wall time of the nominal-only synthesis
+  double cornerSearchSeconds = 0;    ///< wall time of the cutting-plane phase
 };
 
 /// Cutting-plane robust synthesis: synthesize at the nominal process, hunt

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
+
 namespace amsyn::num {
 
 namespace {
@@ -33,6 +36,7 @@ double calibrateTemperature(const AnnealProblem& p, Rng& rng, double targetAccep
 }  // namespace
 
 AnnealStats anneal(const AnnealProblem& problem, const AnnealOptions& opts) {
+  AMSYN_SPAN("anneal");
   Rng rng(opts.seed);
   AnnealStats stats;
 
@@ -78,6 +82,16 @@ AnnealStats anneal(const AnnealProblem& problem, const AnnealOptions& opts) {
   }
 
   stats.bestCost = best;
+  // Bulk-record the run's move traffic: one registry touch per anneal, not
+  // per move, keeps the inner loop free of even relaxed atomics.
+  static const auto cMoves =
+      core::metrics::Registry::instance().counter("anneal.moves_attempted");
+  static const auto cAccepts =
+      core::metrics::Registry::instance().counter("anneal.moves_accepted");
+  static const auto cStages = core::metrics::Registry::instance().counter("anneal.stages");
+  core::metrics::add(cMoves, stats.movesAttempted);
+  core::metrics::add(cAccepts, stats.movesAccepted);
+  core::metrics::add(cStages, stats.stages);
   return stats;
 }
 

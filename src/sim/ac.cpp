@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
@@ -17,7 +19,7 @@ AcSolver::AcSolver(const Mna& mna, const DcResult& op) {
 
 const num::LUC& AcSolver::factorAt(double frequency) {
   if (lu_ && frequency == cachedFrequency_) {
-    ++simStats().luReuses;
+    recordLuReuse();
     return *lu_;
   }
   if (FaultInjector::instance().armed() && FaultInjector::instance().takeLuFailure())
@@ -28,7 +30,7 @@ const num::LUC& AcSolver::factorAt(double frequency) {
     for (std::size_t j = 0; j < n_; ++j) a(i, j) = {g_(i, j), w * c_(i, j)};
   lu_.emplace(std::move(a));
   cachedFrequency_ = frequency;
-  ++simStats().luFactorizations;
+  recordLuFactorization();
   return *lu_;
 }
 
@@ -79,6 +81,10 @@ std::vector<double> logspace(double fStart, double fStop, std::size_t pointsPerD
 AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& outputNode,
                    const std::vector<double>& frequencies, core::EvalBudget* budget) {
   if (!op.converged) throw std::invalid_argument("acAnalysis: operating point not converged");
+  AMSYN_SPAN("ac_sweep");
+  static const auto cSweeps = core::metrics::Registry::instance().counter("sim.ac_sweeps");
+  static const auto cPoints = core::metrics::Registry::instance().counter("sim.ac_points");
+  core::metrics::add(cSweeps);
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode) throw std::invalid_argument("acAnalysis: unknown node " + outputNode);
   const std::size_t outIdx = mna.nodeIndex(*outNode);
@@ -111,6 +117,7 @@ AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& output
     sweep.points.push_back({f, x[outIdx]});
   }
   if (sweep.status != core::EvalStatus::Ok) recordEvalFailure(sweep.status);
+  core::metrics::add(cPoints, sweep.points.size());
   return sweep;
 }
 

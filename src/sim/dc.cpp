@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
@@ -68,6 +70,9 @@ NewtonOutcome newtonSolve(const Mna& mna, num::VecD& x, double sourceScale, doub
       maxDx = std::max(maxDx, std::abs(step));
     }
     ++iterationsOut;
+    static const auto cIters =
+        core::metrics::Registry::instance().counter("sim.newton_iterations");
+    core::metrics::add(cIters);
     if (maxDx < opts.vAbsTol) {
       // Confirm with the residual at the accepted point.
       mna.assemble(x, aopt, nullptr, &f);
@@ -102,6 +107,9 @@ num::VecD flatStart(const Mna& mna, double nodeVoltage) {
 }
 
 DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& opts) {
+  AMSYN_SPAN("dc_solve");
+  static const auto cSolves = core::metrics::Registry::instance().counter("sim.dc_solves");
+  core::metrics::add(cSolves);
   DcResult res;
   res.x = x0;
   if (res.x.size() != mna.size()) res.x.assign(mna.size(), 0.0);

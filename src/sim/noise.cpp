@@ -4,6 +4,8 @@
 #include <complex>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
 #include "sim/ac.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
@@ -27,6 +29,10 @@ NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string&
                           const std::vector<double>& frequencies,
                           core::EvalBudget* budget) {
   if (!op.converged) throw std::invalid_argument("noiseAnalysis: op not converged");
+  AMSYN_SPAN("noise_analysis");
+  static const auto cRuns =
+      core::metrics::Registry::instance().counter("sim.noise_analyses");
+  core::metrics::add(cRuns);
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode || *outNode == circuit::kGround)
     throw std::invalid_argument("noiseAnalysis: bad output node " + outputNode);

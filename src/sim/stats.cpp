@@ -1,17 +1,101 @@
 #include "sim/stats.hpp"
 
+#include <string>
+
+#include "core/metrics.hpp"
+
 namespace amsyn::sim {
 
 namespace {
-thread_local SimStats tlStats;
+
+namespace metrics = core::metrics;
+
+struct LuCounters {
+  metrics::CounterId factorizations;
+  metrics::CounterId reuses;
+};
+
+const LuCounters& luCounters() {
+  static const LuCounters ids{
+      metrics::Registry::instance().counter("sim.lu_factorizations"),
+      metrics::Registry::instance().counter("sim.lu_reuses")};
+  return ids;
+}
+
 FailureStats gFailureStats;
+
+/// Surface the legacy global atomics through the registry as external
+/// counters, once per process.  Instantiated lazily from failureStats() and
+/// recordEvalFailure() so the registration cannot race static init order.
+struct FailureExternals {
+  FailureExternals() {
+    auto& reg = metrics::Registry::instance();
+    for (std::size_t i = 1; i < core::kEvalStatusCount; ++i) {
+      const auto reason = static_cast<core::EvalStatus>(i);
+      reg.registerExternal(std::string("sim.fail.") + core::evalStatusName(reason),
+                           [i] {
+                             return gFailureStats.byReason[i].load(
+                                 std::memory_order_relaxed);
+                           });
+    }
+    reg.registerExternal("sim.strategy.newton", [] {
+      return gFailureStats.strategyNewton.load(std::memory_order_relaxed);
+    });
+    reg.registerExternal("sim.strategy.gmin", [] {
+      return gFailureStats.strategyGmin.load(std::memory_order_relaxed);
+    });
+    reg.registerExternal("sim.strategy.source", [] {
+      return gFailureStats.strategySource.load(std::memory_order_relaxed);
+    });
+  }
+};
+
+void ensureFailureExternals() { static FailureExternals once; }
+
+// Per-thread baselines for the legacy simStats() view: the registry shard is
+// monotonic, so "reset" is a baseline capture, not a zeroing.
+thread_local SimStats tlBase;
+thread_local SimStats tlView;
+
+std::uint64_t sinceBase(std::uint64_t current, std::uint64_t base) {
+  // A metrics::Registry::reset() between baseline and read can make the
+  // shard value run behind the baseline; saturate instead of wrapping.
+  return current >= base ? current - base : current;
+}
+
 }  // namespace
 
-SimStats& simStats() { return tlStats; }
+void recordLuFactorization() { metrics::add(luCounters().factorizations); }
 
-void resetSimStats() { tlStats = SimStats{}; }
+void recordLuReuse() { metrics::add(luCounters().reuses); }
 
-FailureStats& failureStats() { return gFailureStats; }
+SimStats& simStats() {
+  auto& reg = metrics::Registry::instance();
+  tlView.luFactorizations =
+      sinceBase(reg.threadValue(luCounters().factorizations), tlBase.luFactorizations);
+  tlView.luReuses = sinceBase(reg.threadValue(luCounters().reuses), tlBase.luReuses);
+  return tlView;
+}
+
+void resetSimStats() {
+  auto& reg = metrics::Registry::instance();
+  tlBase.luFactorizations = reg.threadValue(luCounters().factorizations);
+  tlBase.luReuses = reg.threadValue(luCounters().reuses);
+  tlView = SimStats{};
+}
+
+SimStats totalSimStats() {
+  auto& reg = metrics::Registry::instance();
+  SimStats total;
+  total.luFactorizations = reg.total(luCounters().factorizations);
+  total.luReuses = reg.total(luCounters().reuses);
+  return total;
+}
+
+FailureStats& failureStats() {
+  ensureFailureExternals();
+  return gFailureStats;
+}
 
 void resetFailureStats() {
   for (auto& c : gFailureStats.byReason) c.store(0, std::memory_order_relaxed);
@@ -22,6 +106,7 @@ void resetFailureStats() {
 
 void recordEvalFailure(core::EvalStatus reason) {
   if (reason == core::EvalStatus::Ok || reason == core::EvalStatus::kCount) return;
+  ensureFailureExternals();
   gFailureStats.byReason[static_cast<std::size_t>(reason)].fetch_add(
       1, std::memory_order_relaxed);
 }

@@ -1,18 +1,24 @@
-// Observability counters for the analyses in this module.
+// Observability counters for the analyses in this module — thin shims over
+// the process-wide metrics registry (core/metrics.hpp).
 //
 // Linear-solver traffic: AC and transient sweeps cache their LU
 // factorization and re-factor only when the matrix values change
-// (sim/ac.cpp, sim/transient.cpp); these counters make that observable —
-// tests assert the factor/reuse split, benchmarks report it.  Thread-local
-// so concurrently running evaluations (core/parallel.hpp) do not race; read
-// the counters on the thread that ran the analysis.
+// (sim/ac.cpp, sim/transient.cpp).  The counters live in the registry as
+// "sim.lu_factorizations" / "sim.lu_reuses", sharded per thread: the
+// recording hot path is lock-free, and aggregation sums every thread's
+// shard.  This fixes the PR-1 bug where the counters were plain
+// thread_locals — an analysis that ran on a pool thread (corner fan-out,
+// genetic batches, multi-start anneals) accrued its counts on the worker
+// and the caller never saw them.  simStats() keeps the old per-thread view
+// for tests that run an analysis on the calling thread; totalSimStats() is
+// the run-total view and is thread-count-invariant.
 //
 // Failure taxonomy: per-reason tallies of failed candidate evaluations and
-// continuation-strategy usage (newton/gmin/source).  These are
-// process-global atomics, not thread-local: an optimization run spreads its
-// evaluations across pool threads, and the interesting number is the total
-// over the run — which is deterministic at any thread count because the set
-// of evaluations is.
+// continuation-strategy usage (newton/gmin/source).  These remain
+// process-global atomics — tests assert on (and poke) the struct's fields
+// directly — and are surfaced through the registry as external counters
+// ("sim.fail.<reason>", "sim.strategy.<name>") so run reports see one
+// coherent namespace.
 #pragma once
 
 #include <array>
@@ -28,11 +34,22 @@ struct SimStats {
   std::uint64_t luReuses = 0;          ///< solves served from a cached factorization
 };
 
-/// Counters of the calling thread.
+/// Record one LU factorization / cache reuse (hot path; calling thread's
+/// registry shard).
+void recordLuFactorization();
+void recordLuReuse();
+
+/// View of the *calling thread's* counters since its last resetSimStats().
+/// Read-only shim: writes to the returned struct are not recorded.
 SimStats& simStats();
 
-/// Zero the calling thread's counters.
+/// Baseline the calling thread's view at the current counts.
 void resetSimStats();
+
+/// Process-wide totals aggregated over every thread (live and exited) since
+/// the last metrics::Registry::reset().  Use this for run totals: it is
+/// correct at any AMSYN_THREADS.
+SimStats totalSimStats();
 
 /// Process-global failure/strategy tallies (see file comment).
 struct FailureStats {

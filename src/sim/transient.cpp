@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
@@ -113,7 +115,7 @@ StepOutcome newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt
     // instead of burning the remaining maxNewton iterations on NaNs.
     if (!allFinite(f)) return StepOutcome::Failed;
     if (cache.lu && cache.values.data() == jac.data()) {
-      ++simStats().luReuses;
+      recordLuReuse();
     } else {
       try {
         if (FaultInjector::instance().armed() &&
@@ -125,7 +127,7 @@ StepOutcome newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt
         cache.lu.reset();
         return StepOutcome::Failed;
       }
-      ++simStats().luFactorizations;
+      recordLuFactorization();
     }
     num::VecD dx = cache.lu->solve(f);
     if (!allFinite(dx)) return StepOutcome::Failed;
@@ -149,6 +151,10 @@ StepOutcome newtonStep(const Mna& mna, num::VecD& x, const AssemblyOptions& aopt
 
 TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
                                   const TransientOptions& opts) {
+  AMSYN_SPAN("transient");
+  static const auto cSolves =
+      core::metrics::Registry::instance().counter("sim.tran_solves");
+  core::metrics::add(cSolves);
   TransientResult res;
   if (!op.converged) {
     // A bad starting bias is infeasible data, not a programming error: the
@@ -198,6 +204,9 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
         t += h;
         res.time.push_back(t);
         res.states.push_back(x);
+        static const auto cSteps =
+            core::metrics::Registry::instance().counter("sim.tran_steps");
+        core::metrics::add(cSteps);
         accepted = true;
         firstStep = false;
         break;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace amsyn::sizing {
@@ -15,6 +16,9 @@ double CostFunction::operator()(const std::vector<double>& x) const {
 
 CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const {
   evals_.fetch_add(1, std::memory_order_relaxed);
+  static const auto cEvals =
+      core::metrics::Registry::instance().counter("sizing.cost_evals");
+  core::metrics::add(cEvals);
   Detail d;
   // Containment boundary: exceptions and NaN scores become infeasible data.
   d.performance = safeEvaluate(model_, x);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 #include "numeric/optimize.hpp"
 #include "numeric/rng.hpp"
 
@@ -104,6 +105,7 @@ SynthesisResult synthesizeSingle(const CostFunction& cost, const SynthesisOption
 }  // namespace
 
 SynthesisResult synthesize(const CostFunction& cost, const SynthesisOptions& opts) {
+  AMSYN_SPAN("synthesize");
   if (opts.multistarts <= 1) return synthesizeSingle(cost, opts, opts.seed);
 
   // Parallel multi-start: independent anneals on split RNG streams, best

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/metrics.hpp"
 #include "core/parallel.hpp"
+#include "core/trace.hpp"
 #include "numeric/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -29,6 +31,7 @@ struct Individual {
 
 GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
                                    const GeneticOptions& opts) {
+  AMSYN_SPAN("genetic_select");
   num::Rng rng(opts.seed);
   const auto& entries = lib.entries();
   if (entries.empty()) throw std::invalid_argument("geneticSelectAndSize: empty library");
@@ -73,6 +76,9 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
       sim::recordEvalFailure(core::EvalStatus::InternalError);
     }
     result.evaluations += batch.size() - first;
+    static const auto cEvals =
+        core::metrics::Registry::instance().counter("genetic.evaluations");
+    core::metrics::add(cEvals, batch.size() - first);
   };
 
   // Random initial population spread across all topologies.
@@ -97,7 +103,10 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
       pop.begin(), pop.end(),
       [](const Individual& a, const Individual& b) { return a.fitness < b.fitness; });
 
+  static const auto cGenerations =
+      core::metrics::Registry::instance().counter("genetic.generations");
   for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    core::metrics::add(cGenerations);
     std::vector<Individual> next;
     next.reserve(pop.size());
     next.push_back(bestEver);  // elitism (already scored)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/trace.hpp"
 #include "sim/stats.hpp"
 
 namespace amsyn::topology {
@@ -29,8 +30,13 @@ std::vector<Candidate> ruleBasedSelect(const TopologyLibrary& lib,
     c.score -= 0.01 * e.complexity;
     out.push_back(std::move(c));
   }
-  std::sort(out.begin(), out.end(),
-            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+  // Tie-break equal scores by name: std::sort is unstable and candidate
+  // order feeds straight into which topology gets sized first, so without a
+  // total order the pick could differ across std-lib implementations.
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.name < b.name;
+  });
   return out;
 }
 
@@ -85,13 +91,15 @@ std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
   }
   std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
     if (a.feasible != b.feasible) return a.feasible;
-    return a.score > b.score;
+    if (a.score != b.score) return a.score > b.score;
+    return a.name < b.name;  // deterministic order on margin ties
   });
   return out;
 }
 
 SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
                                   const sizing::SynthesisOptions& opts) {
+  AMSYN_SPAN("select_and_size");
   SelectAndSizeResult result;
 
   // Interval filter first (cheap, sound), then order survivors by rules.
@@ -107,7 +115,9 @@ SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::Spec
   for (const auto& c : byInterval)
     if (c.feasible) order.push_back(c);
   std::sort(order.begin(), order.end(), [&](const Candidate& a, const Candidate& b) {
-    return ruleRank(a.name) < ruleRank(b.name);
+    const std::size_t ra = ruleRank(a.name), rb = ruleRank(b.name);
+    if (ra != rb) return ra < rb;
+    return a.name < b.name;  // both unranked by rules: order by name
   });
   result.consideredOrder = order;
 

@@ -75,7 +75,32 @@ TEST(ParseValue, EngineeringSuffixes) {
   EXPECT_DOUBLE_EQ(ckt::parseValue("4.7n"), 4.7e-9);
   EXPECT_DOUBLE_EQ(ckt::parseValue("1e-3"), 1e-3);
   EXPECT_THROW(ckt::parseValue("abc"), std::invalid_argument);
-  EXPECT_THROW(ckt::parseValue("1x"), std::invalid_argument);
+}
+
+TEST(ParseValue, TrailingUnitLettersAreIgnored) {
+  // SPICE semantics: an optional scale factor, then arbitrary alphabetic
+  // unit letters that carry no meaning ("v", "hz", "ohm", "a", "x"...).
+  EXPECT_DOUBLE_EQ(ckt::parseValue("2.5v"), 2.5);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("1kohm"), 1e3);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("100mhz"), 0.1);  // m = milli, hz = unit
+  EXPECT_DOUBLE_EQ(ckt::parseValue("3GHz"), 3e9);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("10uA"), 10e-6);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("5ns"), 5e-9);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("1x"), 1.0);  // unknown letter = pure unit
+}
+
+TEST(ParseValue, MegVersusMilliDisambiguation) {
+  // "meg" must be matched as a whole before "m" falls through to milli.
+  EXPECT_DOUBLE_EQ(ckt::parseValue("1megohm"), 1e6);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("1mohm"), 1e-3);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("2.2MEG"), 2.2e6);
+  EXPECT_DOUBLE_EQ(ckt::parseValue("1mv"), 1e-3);
+}
+
+TEST(ParseValue, NonAlphabeticTailStillThrows) {
+  EXPECT_THROW(ckt::parseValue("1k5"), std::invalid_argument);
+  EXPECT_THROW(ckt::parseValue("2.5v2"), std::invalid_argument);
+  EXPECT_THROW(ckt::parseValue("1_ohm"), std::invalid_argument);
 }
 
 TEST(ParseDeck, SimpleRcCircuit) {
