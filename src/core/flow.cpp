@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/evalcache.hpp"
 #include "core/runreport.hpp"
 #include "core/trace.hpp"
 #include "sim/ac.hpp"
@@ -56,6 +58,11 @@ FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Proc
                                const FlowOptions& opts) {
   AMSYN_SPAN("flow");
   FlowResult result;
+
+  if (opts.evalCacheCapacity == std::numeric_limits<std::size_t>::max())
+    cache::EvalCache::instance().setEnabled(false);
+  else if (opts.evalCacheCapacity > 0)
+    cache::EvalCache::instance().setCapacity(opts.evalCacheCapacity);
 
   // Verification passes only judge constraint specs the simulator measures.
   sizing::SpecSet electrical;

@@ -30,6 +30,12 @@ struct FlowOptions {
   sizing::SynthesisOptions synthesis;
   CellLayoutOptions layout;
   std::uint64_t seed = 1;
+  /// Evaluation-cache capacity (entries) applied to the process-wide
+  /// core::cache::EvalCache at flow start; 0 keeps the current/env-derived
+  /// setting (AMSYN_EVAL_CACHE_CAPACITY) and SIZE_MAX disables the cache
+  /// for this process.  The cache only changes *speed*, never results —
+  /// see core/evalcache.hpp for the correctness contract.
+  std::size_t evalCacheCapacity = 0;
 };
 
 /// Record of one verification: measured performances vs the spec verdict.

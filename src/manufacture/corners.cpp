@@ -64,6 +64,12 @@ WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process&
   // tagged _infeasible, and signedMargin treats a missing performance as
   // violated (-1.0) — the pessimistic reading, which is the correct
   // worst-case semantics for a corner we could not evaluate.
+  // safeEvaluate also consults the process-wide evaluation cache
+  // (core/evalcache.hpp): hunts for different specs at the same design x
+  // enumerate the *same* 64 vertices, coordinate search re-probes points it
+  // has already seen, and robustSynthesize's final audit repeats the last
+  // round's hunts verbatim — all of those become cache hits instead of
+  // fresh simulations.
   auto marginAt = [&](const std::vector<double>& c) {
     const circuit::Process p = space.apply(nominal, c);
     const auto model = factory(p);
@@ -175,6 +181,24 @@ class CornerSetModel : public sizing::PerformanceModel {
       }
     }
     return agg;
+  }
+
+  /// Cacheable iff every corner model is: the aggregate is a pure function
+  /// of the per-corner payloads and the spec set (which picks the
+  /// performances to fold and the min/max direction), so the key combines
+  /// the sub-model keys in corner order with the spec-set digest.
+  std::optional<core::cache::Digest128> cacheKey(
+      const std::vector<double>& x) const override {
+    core::cache::Hasher128 h;
+    h.mixString("corner-set");
+    h.mix(models_.size());
+    for (const auto& m : models_) {
+      const auto sub = m->cacheKey(x);
+      if (!sub) return std::nullopt;
+      h.mixDigest(*sub);
+    }
+    h.mixDigest(specs_.digest());
+    return h.digest();
   }
 
   std::size_t cornerCount() const { return models_.size() - 1; }

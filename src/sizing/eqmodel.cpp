@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/canonical.hpp"
+
 namespace amsyn::sizing {
 
 namespace {
@@ -39,6 +41,16 @@ Performance TwoStageEquationModel::evaluate(const std::vector<double>& x) const 
   // classic OPASYN failure mode is an equation model whose idealized
   // variables drift away from the realizable device sizes.
   return evaluateTwoStageGeometry(toParams(x), proc_, loadCap_);
+}
+
+std::optional<core::cache::Digest128> TwoStageEquationModel::cacheKey(
+    const std::vector<double>& x) const {
+  core::cache::Hasher128 h;
+  h.mixString("eq-two-stage");
+  circuit::hashProcess(h, proc_);
+  h.mixDouble(loadCap_);
+  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  return h.digest();
 }
 
 TwoStageParams TwoStageEquationModel::toParams(const std::vector<double>& x) const {
@@ -107,6 +119,16 @@ Performance OtaEquationModel::evaluate(const std::vector<double>& x) const {
   const double psd = 2.0 * (16.0 / 3.0) * proc_.kT() / gm1 * (1.0 + gm3 / gm1);
   perf["noise_nv"] = std::sqrt(psd) * 1e9;
   return perf;
+}
+
+std::optional<core::cache::Digest128> OtaEquationModel::cacheKey(
+    const std::vector<double>& x) const {
+  core::cache::Hasher128 h;
+  h.mixString("eq-ota");
+  circuit::hashProcess(h, proc_);
+  h.mixDouble(loadCap_);
+  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  return h.digest();
 }
 
 OtaParams OtaEquationModel::toParams(const std::vector<double>& x) const {
@@ -243,6 +265,21 @@ class TwoStageCornerModel : public PerformanceModel {
   Performance evaluate(const std::vector<double>& x) const override {
     const TwoStageParams geometry = nominalModel_.toParams(x);
     return evaluateTwoStageGeometry(geometry, corner_, loadCap_);
+  }
+
+  /// Corner-hunt hot path: worstCaseCorner re-visits the same (corner, x)
+  /// pairs across cutting-plane rounds and in the final audit; the key
+  /// mixes both processes because the geometry is frozen at nominal and
+  /// evaluated at the corner.
+  std::optional<core::cache::Digest128> cacheKey(
+      const std::vector<double>& x) const override {
+    core::cache::Hasher128 h;
+    h.mixString("eq-two-stage-corner");
+    circuit::hashProcess(h, corner_);
+    circuit::hashProcess(h, nominal_);
+    h.mixDouble(loadCap_);
+    h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+    return h.digest();
   }
 
  private:

@@ -24,6 +24,8 @@ class TwoStageEquationModel : public PerformanceModel {
 
   const std::vector<DesignVariable>& variables() const override { return vars_; }
   Performance evaluate(const std::vector<double>& x) const override;
+  std::optional<core::cache::Digest128> cacheKey(
+      const std::vector<double>& x) const override;
 
   /// Map a design point to device sizes for simulation / layout.
   TwoStageParams toParams(const std::vector<double>& x) const;
@@ -45,6 +47,8 @@ class OtaEquationModel : public PerformanceModel {
 
   const std::vector<DesignVariable>& variables() const override { return vars_; }
   Performance evaluate(const std::vector<double>& x) const override;
+  std::optional<core::cache::Digest128> cacheKey(
+      const std::vector<double>& x) const override;
 
   OtaParams toParams(const std::vector<double>& x) const;
 

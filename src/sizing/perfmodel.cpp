@@ -7,6 +7,20 @@ namespace amsyn::sizing {
 using core::EvalStatus;
 
 Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x) {
+  // Memoized fast path: the cache sits here — below every hot consumer
+  // (sizing::CostFunction, topology/genetic batches, manufacture corner
+  // hunts all evaluate through safeEvaluate) — so one integration point
+  // covers all three loops the paper's runtime analysis names.
+  auto& cache = core::cache::EvalCache::instance();
+  std::optional<core::cache::Digest128> key;
+  if (cache.enabled()) {
+    key = model.cacheKey(x);
+    if (key) {
+      core::cache::CachedEval cached;
+      if (cache.lookup(*key, x, cached)) return std::move(cached.performance);
+    }
+  }
+
   Performance perf;
   try {
     perf = model.evaluate(x);
@@ -17,6 +31,7 @@ Performance safeEvaluate(const PerformanceModel& model, const std::vector<double
     perf.clear();
     markInfeasible(perf, EvalStatus::InternalError);
     sim::recordEvalFailure(EvalStatus::InternalError);
+    if (key) cache.insert(*key, x, {perf, EvalStatus::InternalError});
     return perf;
   }
   for (const auto& [name, value] : perf) {
@@ -26,6 +41,10 @@ Performance safeEvaluate(const PerformanceModel& model, const std::vector<double
       break;
     }
   }
+  // Cache the full payload, taxonomy keys included: a later hit on a failed
+  // candidate reports the same _infeasible/_status data the first
+  // evaluation did (the failure tally itself is recorded once, above).
+  if (key) cache.insert(*key, x, {perf, performanceStatus(perf)});
   return perf;
 }
 

@@ -9,9 +9,11 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/evalcache.hpp"
 #include "core/evalstatus.hpp"
 
 namespace amsyn::sizing {
@@ -73,6 +75,22 @@ class PerformanceModel {
   /// A reasonable starting point (defaults to the geometric middle).
   virtual std::vector<double> initialPoint() const;
 
+  /// Canonical candidate key for the memoized evaluation cache
+  /// (core/evalcache.hpp): a digest of everything evaluate(x) depends on —
+  /// model identity tag, canonicalized netlist, process parameters,
+  /// evaluator options, and the (quantized) design vector.  Models return
+  /// nullopt (the default) when they cannot attest a deterministic,
+  /// self-contained identity — e.g. custom models, or evaluations wired to
+  /// a wall-clock-dependent cancel flag — and such evaluations are never
+  /// cached.  Two models with equal keys MUST produce bit-identical
+  /// evaluate(x); safeEvaluate relies on this for the cache-on/off
+  /// differential guarantee (tests/evalcache_test.cpp).
+  virtual std::optional<core::cache::Digest128> cacheKey(
+      const std::vector<double>& x) const {
+    (void)x;
+    return std::nullopt;
+  }
+
   std::size_t dimension() const { return variables().size(); }
 };
 
@@ -82,6 +100,15 @@ class PerformanceModel {
 /// is a failed measurement, not a neutral score).  Both are tallied in
 /// sim::failureStats().  This is the containment boundary the corner search
 /// and any direct model consumer should call instead of evaluate().
+///
+/// Memoization: when the process-wide evaluation cache is enabled and the
+/// model attests a canonical key (PerformanceModel::cacheKey), repeated
+/// evaluations of the same candidate — annealing revisits, duplicate
+/// genetic genomes, corner-vertex re-visits — return the cached Performance
+/// map, failure taxonomy included, without re-running the evaluator.
+/// Failure tallies (sim::recordEvalFailure) are recorded once per distinct
+/// candidate, on the miss; observability counters are the only thing the
+/// cache changes — results are bit-identical with the cache on or off.
 Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x);
 
 inline std::vector<double> PerformanceModel::initialPoint() const {

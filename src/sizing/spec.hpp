@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/evalcache.hpp"
+
 namespace amsyn::sizing {
 
 enum class SpecKind : std::uint8_t {
@@ -55,6 +57,13 @@ class SpecSet {
 
   /// Total normalized violation across constraints.
   double totalViolation(const std::map<std::string, double>& perf) const;
+
+  /// Canonical digest of the spec set, for evaluation-cache keys whose
+  /// payload depends on the specs (e.g. manufacture::CornerSetModel, which
+  /// aggregates a worst case *per spec*).  Declaration order is preserved
+  /// deliberately: cost compilation sums penalty terms in spec order, so
+  /// reordered specs are a genuinely different scalarization.
+  core::cache::Digest128 digest() const;
 
  private:
   std::vector<Spec> specs_;
