@@ -29,8 +29,9 @@ bool isPhysical(const Device& d) {
 
 }  // namespace
 
-CellLayoutResult layoutCell(const circuit::Netlist& net, const circuit::Process& proc,
-                            const CellLayoutOptions& opts) {
+CellLayoutResult layoutCellGeometry(const circuit::Netlist& net,
+                                    const circuit::Process& proc,
+                                    const CellLayoutOptions& opts) {
   CellLayoutResult result;
   result.matching = extract::generateMatchingConstraints(net);
 
@@ -187,15 +188,30 @@ CellLayoutResult layoutCell(const circuit::Netlist& net, const circuit::Process&
   }
   (void)ok;
 
-  // --- extraction + back-annotation onto the full original netlist ---
-  result.parasitics = extract::extractParasitics(result.layout, proc);
-  result.annotated = extract::backAnnotate(net, result.parasitics);
+  // The instances point into the component masters; hand ownership to the
+  // result so extraction (possibly a separate stage) sees live geometry.
+  // Vector move steals the buffers, so the master addresses are unchanged.
+  result.components = std::move(components);
 
   const auto bb = result.layout.boundingBox();
   result.areaLambda2 =
       static_cast<double>(bb.width()) / 4.0 * static_cast<double>(bb.height()) / 4.0;
   result.wirelengthLambda = result.routing.totalLengthLambda;
   result.success = result.placement.overlapFree && result.routing.allRouted;
+  return result;
+}
+
+void extractCell(const circuit::Netlist& net, const circuit::Process& proc,
+                 CellLayoutResult& result) {
+  if (result.placement.instances.empty()) return;  // nothing was laid out
+  result.parasitics = extract::extractParasitics(result.layout, proc);
+  result.annotated = extract::backAnnotate(net, result.parasitics);
+}
+
+CellLayoutResult layoutCell(const circuit::Netlist& net, const circuit::Process& proc,
+                            const CellLayoutOptions& opts) {
+  auto result = layoutCellGeometry(net, proc, opts);
+  extractCell(net, proc, result);
   return result;
 }
 

@@ -30,6 +30,12 @@ struct CellLayoutOptions {
 
 struct CellLayoutResult {
   geom::Layout layout;
+  /// The placeable components (cell masters) the placement instances point
+  /// into (geom::CellInstance::master is a non-owning pointer).  Owned here
+  /// so the result is self-contained: transformedShapes()/extraction stay
+  /// valid after the layout call returns.  Note a *copy* of the result
+  /// aliases the source's components; move it instead.
+  std::vector<layout::PlacementComponent> components;
   layout::Placement placement;
   layout::RouteResult routing;
   extract::ExtractionResult parasitics;
@@ -46,8 +52,24 @@ struct CellLayoutResult {
 
 /// Lay out the MOS/R/C devices of `net`.  Testbench elements (sources,
 /// controlled sources, huge feedback RCs) are skipped automatically; only
-/// physical devices get geometry.
+/// physical devices get geometry.  Equivalent to layoutCellGeometry
+/// followed by extractCell.
 CellLayoutResult layoutCell(const circuit::Netlist& net, const circuit::Process& proc,
                             const CellLayoutOptions& opts = {});
+
+/// The geometric half of layoutCell: matching constraints, stacking, module
+/// generation, placement and routing, through area/wirelength/success — but
+/// no parasitic extraction (`parasitics`/`annotated` stay empty).  The flow
+/// engine's layout stage runs this, so extraction is skipped when the
+/// placement or routing failed.
+CellLayoutResult layoutCellGeometry(const circuit::Netlist& net,
+                                    const circuit::Process& proc,
+                                    const CellLayoutOptions& opts = {});
+
+/// The extraction half of layoutCell: extract parasitics from
+/// `result.layout` and back-annotate them onto `net` into
+/// `result.annotated`.  No-op when the geometry stage placed nothing.
+void extractCell(const circuit::Netlist& net, const circuit::Process& proc,
+                 CellLayoutResult& result);
 
 }  // namespace amsyn::core

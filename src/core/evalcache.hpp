@@ -37,8 +37,8 @@
 //
 // Knobs:
 //   AMSYN_EVAL_CACHE=0           kill switch (also setEnabled(), and
-//                                FlowOptions::evalCacheCapacity == SIZE_MAX
-//                                disables per-flow)
+//                                FlowOptions::evalCache =
+//                                EvalCacheOptions::disabled() per-flow)
 //   AMSYN_EVAL_CACHE_CAPACITY=N  max entries (default 65536)
 //   AMSYN_EVAL_CACHE_QUANTUM=q   relative sizing quantum; 0 (default) =
 //                                exact-bit keys.  q > 0 buckets sizing

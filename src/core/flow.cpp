@@ -1,26 +1,36 @@
 #include "core/flow.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <utility>
 
-#include "core/evalcache.hpp"
+#include "core/flowgraph.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel.hpp"
 #include "core/runreport.hpp"
 #include "core/trace.hpp"
+#include "numeric/rng.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
 #include "sim/stats.hpp"
-#include "sizing/eqmodel.hpp"
 #include "sizing/perfmodel.hpp"
-#include "knowledge/opamp_plans.hpp"
-#include "sizing/opamp.hpp"
-#include "topology/select.hpp"
 
 namespace amsyn::core {
 
+const char* stageStatusName(StageStatus s) {
+  switch (s) {
+    case StageStatus::Passed:
+      return "passed";
+    case StageStatus::Failed:
+      return "failed";
+    case StageStatus::Skipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
-                                     const circuit::Process& proc) {
+                                     const circuit::Process& proc,
+                                     const AcTestbench& tb) {
   AMSYN_SPAN("measure");
   sizing::Performance perf;
   try {
@@ -31,7 +41,9 @@ sizing::Performance measureAmplifier(const circuit::Netlist& net,
       return perf;
     }
     perf["power"] = sim::staticPower(mna, op);
-    const auto sweep = sim::acAnalysis(mna, op, "out", sim::logspace(1.0, 1e9, 6));
+    const auto sweep =
+        sim::acAnalysis(mna, op, tb.probeNode,
+                        sim::logspace(tb.acStartHz, tb.acStopHz, tb.acPointsPerDecade));
     if (sweep.status != EvalStatus::Ok) {
       sizing::markInfeasible(perf, sweep.status);
       return perf;
@@ -56,196 +68,30 @@ sizing::Performance measureAmplifier(const circuit::Netlist& net,
 
 FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Process& proc,
                                const FlowOptions& opts) {
-  AMSYN_SPAN("flow");
-  FlowResult result;
+  FlowEngine engine(amplifierStageGraph());
+  return engine.run(specs, proc, opts);
+}
 
-  if (opts.evalCacheCapacity == std::numeric_limits<std::size_t>::max())
-    cache::EvalCache::instance().setEnabled(false);
-  else if (opts.evalCacheCapacity > 0)
-    cache::EvalCache::instance().setCapacity(opts.evalCacheCapacity);
+FlowOptions batchItemOptions(const FlowOptions& base, std::size_t index) {
+  FlowOptions item = base;
+  item.seed = num::Rng::streamSeed(base.seed, index);
+  return item;
+}
 
-  // Verification passes only judge constraint specs the simulator measures.
-  sizing::SpecSet electrical;
-  for (const auto& s : specs.specs()) {
-    if (s.isObjective()) continue;
-    if (s.performance == "gain_db" || s.performance == "ugf" || s.performance == "pm" ||
-        s.performance == "power")
-      electrical.require(s.performance, s.kind, s.bound, s.weight);
-  }
-
-  const auto lib = topology::amplifierLibrary(proc, opts.loadCap);
-
-  // Model-calibration state ("closing the loop" with *measured* corrections
-  // rather than blind margins): how far the simulator lands below the
-  // equation model, and how much the layout parasitics knock off on top.
-  double ugfModelRatio = 1.0;   // sim / equation-model prediction
-  double ugfLayoutRatio = 1.0;  // post-layout / pre-layout
-  double pmModelDelta = 0.0;    // eq - sim (degrees lost to modeling error)
-  double pmLayoutDelta = 0.0;   // pre - post (degrees lost to parasitics)
-
-  for (std::size_t attempt = 0; attempt <= opts.maxRedesigns; ++attempt) {
-    if (attempt > 0) ++result.redesigns;
-
-    // --- top-down: topology selection + sizing against retargeted specs ---
-    // Parasitics and model error mainly eat bandwidth and phase margin, so
-    // each redesign hands the sizer bounds corrected by what verification
-    // actually measured, plus a small safety factor that grows per attempt.
-    const double safety = 1.0 + 0.05 * static_cast<double>(attempt);
-    sizing::SpecSet target;
-    for (const auto& s : specs.specs()) {
-      sizing::Spec t = s;
-      if (!t.isObjective()) {
-        if (t.performance == "ugf" && t.kind == sizing::SpecKind::GreaterEqual)
-          t.bound = t.bound / std::max(ugfModelRatio * ugfLayoutRatio, 0.2) * safety;
-        if (t.performance == "pm" && t.kind == sizing::SpecKind::GreaterEqual)
-          t.bound = std::min(
-              t.bound + (pmModelDelta + pmLayoutDelta) * safety + 2.0 * attempt, 80.0);
-      }
-      if (t.isObjective())
-        (t.kind == sizing::SpecKind::Minimize)
-            ? target.minimize(t.performance, t.weight, t.norm)
-            : target.maximize(t.performance, t.weight, t.norm);
-      else
-        target.require(t.performance, t.kind, t.bound, t.weight);
-    }
-
-    sizing::SynthesisOptions sopts = opts.synthesis;
-    sopts.seed = opts.seed + attempt;
-    // Redesigns chase a progressively tighter corner of the design space;
-    // give the annealer a bigger budget each round.
-    if (attempt > 0) {
-      sopts.anneal.movesPerStage =
-          std::max<std::size_t>(sopts.anneal.movesPerStage, 400 * (attempt + 1));
-      sopts.anneal.stagnationStages = 20;
-      sopts.refineEvaluations = std::max<std::size_t>(sopts.refineEvaluations, 800);
-    }
-    // Candidate designs: the optimizer's (objective-aware) point, plus the
-    // knowledge-based design plan's point (IDAC/OASYS-style; always well-
-    // proportioned, so the equation model tracks the simulator closely on
-    // it).  The first candidate that passes pre-layout verification wins.
-    struct Candidate {
-      std::string topology;
-      std::vector<double> x;
-      sizing::Performance predicted;
-    };
-    std::vector<Candidate> candidates;
-
-    const auto sel = topology::selectAndSize(lib, target, sopts);
-    if (sel.success)
-      candidates.push_back({sel.topology, sel.sizing.x, sel.sizing.performance});
-
-    {
-      // Plan candidate from the retargeted bounds.
-      std::map<std::string, double> planIn{{"spec.cload", opts.loadCap}};
-      for (const auto& s : target.specs()) {
-        if (s.isObjective()) continue;
-        if (s.performance == "gain_db") planIn["spec.gain_db"] = s.bound;
-        if (s.performance == "ugf") planIn["spec.ugf"] = s.bound;
-        if (s.performance == "pm") planIn["spec.pm"] = s.bound;
-        if (s.performance == "slew") planIn["spec.slew"] = s.bound;
-        if (s.performance == "power" && s.kind == sizing::SpecKind::LessEqual)
-          planIn["spec.power_max"] = s.bound;
-      }
-      if (planIn.count("spec.gain_db") && planIn.count("spec.ugf")) {
-        if (!planIn.count("spec.pm")) planIn["spec.pm"] = 60.0;
-        if (!planIn.count("spec.slew")) planIn["spec.slew"] = 2.0 * planIn["spec.ugf"];
-        const auto plan = knowledge::twoStageOpampPlan();
-        const auto pres = plan.execute(proc, planIn);
-        if (pres.success) {
-          const sizing::TwoStageEquationModel model(proc, opts.loadCap);
-          const auto x = knowledge::extractTwoStageDesign(pres.context);
-          candidates.push_back({"two-stage-miller", x, model.evaluate(x)});
-        }
-      }
-    }
-    if (candidates.empty()) {
-      result.failureReason = "sizing failed to meet the (possibly inflated) specs";
-      result.failureStatus = EvalStatus::Ok;  // design failure, not machinery
-      continue;
-    }
-
-    // --- build + pre-layout-verify each candidate; take the first pass ---
-    circuit::Netlist schematic;
-    VerificationRecord pre;
-    pre.stage = "pre-layout";
-    bool anyPre = false;
-    for (const auto& cand : candidates) {
-      circuit::Netlist net;
-      if (cand.topology == "two-stage-miller") {
-        const sizing::TwoStageEquationModel model(proc, opts.loadCap);
-        net = sizing::buildTwoStageOpamp(model.toParams(cand.x), proc,
-                                         {opts.loadCap, 2.2, true});
-      } else {
-        const sizing::OtaEquationModel model(proc, opts.loadCap);
-        net = sizing::buildOta(model.toParams(cand.x), proc, {opts.loadCap, 2.2, true});
-      }
-      const auto measured = measureAmplifier(net, proc);
-      const bool passed =
-          !measured.count("_infeasible") && electrical.satisfied(measured, 0.15);
-      // Update the model-calibration terms from this measurement.
-      if (measured.count("ugf") && cand.predicted.count("ugf") &&
-          cand.predicted.at("ugf") > 0)
-        ugfModelRatio = measured.at("ugf") / cand.predicted.at("ugf");
-      if (measured.count("pm") && cand.predicted.count("pm"))
-        pmModelDelta = std::max(0.0, cand.predicted.at("pm") - measured.at("pm"));
-      if (!anyPre || passed) {
-        pre.measured = measured;
-        pre.passed = passed;
-        schematic = std::move(net);
-        result.topology = cand.topology;
-        result.designPoint = cand.x;
-        anyPre = true;
-      }
-      if (passed) break;
-    }
-    result.schematic = schematic;
-    result.verifications.push_back(pre);
-    if (!pre.passed) {
-      result.failureStatus = sizing::performanceStatus(pre.measured);
-      result.failureReason = "pre-layout verification failed (model/sim mismatch)";
-      if (result.failureStatus != EvalStatus::Ok)
-        result.failureReason +=
-            std::string(": ") + evalStatusName(result.failureStatus);
-      continue;  // redesign with the updated corrections
-    }
-
-    // --- bottom-up: layout + extraction ---
-    CellLayoutOptions lopts = opts.layout;
-    lopts.seed = opts.seed + attempt;
-    {
-      AMSYN_SPAN("flow_layout");
-      result.cell = layoutCell(schematic, proc, lopts);
-    }
-    if (!result.cell.success) {
-      result.failureReason = "cell layout failed (placement/routing)";
-      result.failureStatus = EvalStatus::Ok;
-      continue;
-    }
-
-    // --- post-layout verification on the annotated netlist ---
-    VerificationRecord post;
-    post.stage = "post-layout";
-    post.measured = measureAmplifier(result.cell.annotated, proc);
-    post.passed = !post.measured.count("_infeasible") &&
-                  electrical.satisfied(post.measured, 0.15);
-    result.verifications.push_back(post);
-    if (post.measured.count("ugf") && pre.measured.count("ugf") &&
-        pre.measured.at("ugf") > 0)
-      ugfLayoutRatio = post.measured.at("ugf") / pre.measured.at("ugf");
-    if (post.measured.count("pm") && pre.measured.count("pm"))
-      pmLayoutDelta = std::max(0.0, pre.measured.at("pm") - post.measured.at("pm"));
-    if (post.passed) {
-      result.success = true;
-      result.failureReason.clear();
-      result.failureStatus = EvalStatus::Ok;
-      return result;
-    }
-    result.failureStatus = sizing::performanceStatus(post.measured);
-    result.failureReason = "post-layout verification failed; closing the loop";
-    if (result.failureStatus != EvalStatus::Ok)
-      result.failureReason += std::string(": ") + evalStatusName(result.failureStatus);
-  }
-  return result;
+std::vector<FlowResult> synthesizeBatch(const std::vector<sizing::SpecSet>& batch,
+                                        const circuit::Process& proc,
+                                        const FlowOptions& opts) {
+  AMSYN_SPAN("flow_batch");
+  static const metrics::CounterId kBatchDesigns =
+      metrics::Registry::instance().counter("core.flow.batch.designs");
+  metrics::add(kBatchDesigns, batch.size());
+  // Configure the shared cache once up front; each per-design engine re-runs
+  // the same (idempotent) application, so fan-out order cannot matter.
+  applyEvalCacheOptions(opts.evalCache);
+  return parallelMap(batch.size(), [&](std::size_t i) {
+    FlowEngine engine(amplifierStageGraph());
+    return engine.run(batch[i], proc, batchItemOptions(opts, i));
+  });
 }
 
 std::string flowRunReportJson(const FlowResult& result) {
@@ -262,9 +108,20 @@ std::string flowRunReportJson(const FlowResult& result) {
     const std::string prefix = "verify." + std::to_string(i) + ".";
     report.addInfo(prefix + "stage", v.stage);
     report.addValue(prefix + "passed", v.passed ? 1.0 : 0.0);
-    for (const char* key : {"gain_db", "ugf", "pm", "power"})
-      if (auto it = v.measured.find(key); it != v.measured.end())
-        report.addValue(prefix + key, it->second);
+    for (const auto& p : electricalPerformanceTable())
+      if (auto it = v.measured.find(p.name); it != v.measured.end())
+        report.addValue(prefix + p.name, it->second);
+  }
+  report.addValue("stages", static_cast<double>(result.stageRecords.size()));
+  for (std::size_t i = 0; i < result.stageRecords.size(); ++i) {
+    const auto& s = result.stageRecords[i];
+    const std::string prefix = "stage." + std::to_string(i) + ".";
+    report.addInfo(prefix + "name", s.name);
+    report.addInfo(prefix + "status", stageStatusName(s.status));
+    report.addInfo(prefix + "detail", s.detail);
+    report.addInfo(prefix + "eval_status", evalStatusName(s.evalStatus));
+    report.addValue(prefix + "attempt", static_cast<double>(s.attempt));
+    report.addValue(prefix + "seconds", s.seconds);
   }
   return report.toJson();
 }

@@ -8,20 +8,62 @@
 // with redesign iterations when verification fails at any point, including
 // the still-open problem the paper flags in section 3.1: "closing the loop"
 // from cell layout back to circuit synthesis.  Here the close is concrete:
-// post-layout failures tighten the electrical specs handed to the sizer
-// (margin inflation) and the whole flow re-runs.
+// post-layout failures feed measured model/parasitic corrections back into
+// the spec bounds handed to the sizer (margin-inflation retargeting) and
+// the whole flow re-runs.
+//
+// The flow itself is a staged graph (core/flowgraph.hpp): each phase above
+// is one FlowStage, and a FlowEngine executes the declared stage sequence
+// with the redesign loop, retargeting, and calibration feedback as engine
+// policy.  synthesizeAmplifier assembles the amplifier stage graph;
+// synthesizeBatch fans many spec sets across the work-stealing pool.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/celllayout.hpp"
 #include "core/evalstatus.hpp"
+#include "core/performances.hpp"
 #include "sizing/spec.hpp"
 #include "sizing/synth.hpp"
 #include "topology/library.hpp"
 
 namespace amsyn::core {
+
+/// AC verification testbench descriptor: which node the verification stage
+/// probes and the frequency grid it sweeps.  Defaults reproduce the classic
+/// open-loop opamp bench (probe "out", 1 Hz .. 1 GHz, 6 points/decade).
+struct AcTestbench {
+  std::string probeNode = "out";
+  double acStartHz = 1.0;
+  double acStopHz = 1e9;
+  std::size_t acPointsPerDecade = 6;
+};
+
+/// Explicit tri-state configuration of the process-wide evaluation cache
+/// (core/evalcache.hpp) applied at flow start.  Replaces the former
+/// `evalCacheCapacity` sentinel overload (0 = keep, SIZE_MAX = disable).
+/// The cache only changes *speed*, never results — see core/evalcache.hpp
+/// for the correctness contract.
+struct EvalCacheOptions {
+  enum class Mode {
+    Default,   ///< keep the current / AMSYN_EVAL_CACHE* env-derived setting
+    Disabled,  ///< switch the cache off for this process
+    Bounded,   ///< set the capacity to `capacity` entries
+  };
+  Mode mode = Mode::Default;
+  /// Max resident entries; meaningful only in Bounded mode (0 restores the
+  /// default / AMSYN_EVAL_CACHE_CAPACITY value, per EvalCache::setCapacity).
+  std::size_t capacity = 0;
+
+  static EvalCacheOptions defaults() { return {}; }
+  static EvalCacheOptions disabled() { return {Mode::Disabled, 0}; }
+  static EvalCacheOptions bounded(std::size_t entries) {
+    return {Mode::Bounded, entries};
+  }
+};
 
 struct FlowOptions {
   double loadCap = 5e-12;
@@ -29,13 +71,11 @@ struct FlowOptions {
   double marginInflation = 1.30;  ///< spec tightening per redesign
   sizing::SynthesisOptions synthesis;
   CellLayoutOptions layout;
+  /// Verification testbench: probe node + AC sweep grid used by both the
+  /// pre- and post-layout verify stages.
+  AcTestbench testbench;
   std::uint64_t seed = 1;
-  /// Evaluation-cache capacity (entries) applied to the process-wide
-  /// core::cache::EvalCache at flow start; 0 keeps the current/env-derived
-  /// setting (AMSYN_EVAL_CACHE_CAPACITY) and SIZE_MAX disables the cache
-  /// for this process.  The cache only changes *speed*, never results —
-  /// see core/evalcache.hpp for the correctness contract.
-  std::size_t evalCacheCapacity = 0;
+  EvalCacheOptions evalCache;
 };
 
 /// Record of one verification: measured performances vs the spec verdict.
@@ -45,6 +85,29 @@ struct VerificationRecord {
   bool passed = false;
 };
 
+/// How one stage execution ended (see core/flowgraph.hpp for the stage
+/// interface).  Skipped means the stage had nothing to contribute but the
+/// attempt continues (e.g. the optimizer found no candidate — the plan
+/// provider may still produce one); Failed aborts the attempt and triggers
+/// a redesign.
+enum class StageStatus : std::uint8_t { Passed, Failed, Skipped };
+
+/// Stable lowercase name ("passed" / "failed" / "skipped").
+const char* stageStatusName(StageStatus s);
+
+/// Structured record of one stage execution inside one attempt, appended to
+/// FlowResult::stageRecords by the engine and serialized by
+/// flowRunReportJson.  `seconds` is the span-derived wall-clock duration —
+/// the only nondeterministic field.
+struct StageRecord {
+  std::string name;       ///< stage name, e.g. "verify-pre-layout"
+  std::size_t attempt = 0;
+  StageStatus status = StageStatus::Passed;
+  std::string detail;     ///< failure/skip reason; empty on pass
+  EvalStatus evalStatus = EvalStatus::Ok;
+  double seconds = 0.0;
+};
+
 struct FlowResult {
   bool success = false;
   std::string topology;
@@ -52,6 +115,8 @@ struct FlowResult {
   circuit::Netlist schematic;           ///< sized testbench netlist
   CellLayoutResult cell;                ///< layout + extraction
   std::vector<VerificationRecord> verifications;
+  /// Per-stage execution trail across all attempts, in execution order.
+  std::vector<StageRecord> stageRecords;
   std::size_t redesigns = 0;
   std::string failureReason;
   /// Structured companion to failureReason: which evaluation-machinery
@@ -62,20 +127,43 @@ struct FlowResult {
 
 /// Run the complete amplifier flow: select a topology from the built-in
 /// library, size it, verify by simulation, lay it out, extract, verify
-/// post-layout, and iterate with tightened specs if the parasitics broke a
+/// post-layout, and iterate with retargeted specs if the parasitics broke a
 /// spec.  Specs use the standard performance names (gain_db, ugf, pm,
-/// power, ...).
+/// power, ...).  Thin wrapper over FlowEngine + amplifierStageGraph()
+/// (core/flowgraph.hpp).
 FlowResult synthesizeAmplifier(const sizing::SpecSet& specs, const circuit::Process& proc,
                                const FlowOptions& opts = {});
 
+/// Serving-scale entry point: run one amplifier flow per spec set, fanned
+/// across the shared work-stealing pool.  Deterministic: result i is
+/// bit-identical to `synthesizeAmplifier(batch[i], proc,
+/// batchItemOptions(opts, i))` at any AMSYN_THREADS, cache on or off
+/// (tests/flowgraph_test.cpp proves this differentially).  All designs
+/// share the process-wide evaluation cache, so overlapping candidate
+/// evaluations across the batch are paid for once.
+std::vector<FlowResult> synthesizeBatch(const std::vector<sizing::SpecSet>& batch,
+                                        const circuit::Process& proc,
+                                        const FlowOptions& opts = {});
+
+/// The options synthesizeBatch hands design `index`: the base options with
+/// the seed moved onto the decorrelated per-task RNG stream
+/// num::Rng::streamSeed(base.seed, index).  Exposed so callers (and the
+/// differential test) can reproduce any batch entry with a sequential
+/// synthesizeAmplifier call.
+FlowOptions batchItemOptions(const FlowOptions& base, std::size_t index);
+
 /// Measure an amplifier testbench netlist by simulation (shared by the flow
-/// and the benches): gain_db, ugf, pm, power.
+/// and the benches): gain_db, ugf, pm, power.  The testbench descriptor
+/// selects the probe node and AC grid; the default reproduces the classic
+/// bench.
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
-                                     const circuit::Process& proc);
+                                     const circuit::Process& proc,
+                                     const AcTestbench& tb = {});
 
 /// Structured JSON run report for a completed flow: outcome, per-stage
-/// verification verdicts, plus the process-wide metrics-registry snapshot
-/// and trace-span aggregate (schema in core/runreport.hpp).
+/// verification verdicts and stage records, plus the process-wide
+/// metrics-registry snapshot and trace-span aggregate (schema in
+/// core/runreport.hpp).
 std::string flowRunReportJson(const FlowResult& result);
 
 }  // namespace amsyn::core

@@ -1,0 +1,54 @@
+// The canonical table of electrical performances the amplifier flow's
+// verification testbench measures (gain_db, ugf, pm, power).  One table
+// feeds three consumers that each used to carry their own hard-coded list:
+// spec filtering (which constraint specs the simulator can judge), the
+// knowledge-plan input mapping (spec.* context keys), and run-report
+// serialization (which measurements a VerificationRecord prints).
+//
+// Header-only on purpose: the knowledge library sits below amsyn_core in
+// the link order but still maps specs onto plan inputs, so the table must
+// be includable without linking core (the core/evalstatus.hpp pattern).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace amsyn::core {
+
+struct ElectricalPerformance {
+  const char* name;       ///< simulator measurement / spec performance name
+  const char* planInput;  ///< knowledge-plan context key fed from the bound
+  /// True when only an upper-bound (LessEqual) constraint maps onto the
+  /// plan input — power budgets feed spec.power_max; a lower bound on
+  /// power would be meaningless to a plan.
+  bool upperBoundOnly;
+};
+
+/// Every performance the amplifier verification stage measures, with its
+/// plan-input mapping.  Order is the canonical serialization order.
+inline const std::vector<ElectricalPerformance>& electricalPerformanceTable() {
+  static const std::vector<ElectricalPerformance> table = {
+      {"gain_db", "spec.gain_db", false},
+      {"ugf", "spec.ugf", false},
+      {"pm", "spec.pm", false},
+      {"power", "spec.power_max", true},
+  };
+  return table;
+}
+
+/// Names only, in table order (the common consumer shape).
+inline std::vector<std::string> electricalPerformances() {
+  std::vector<std::string> names;
+  names.reserve(electricalPerformanceTable().size());
+  for (const auto& p : electricalPerformanceTable()) names.emplace_back(p.name);
+  return names;
+}
+
+/// Is `name` a simulator-judged electrical performance?
+inline bool isElectricalPerformance(const std::string& name) {
+  for (const auto& p : electricalPerformanceTable())
+    if (name == p.name) return true;
+  return false;
+}
+
+}  // namespace amsyn::core

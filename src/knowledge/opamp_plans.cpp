@@ -2,7 +2,29 @@
 
 #include <cmath>
 
+#include "core/performances.hpp"
+
 namespace amsyn::knowledge {
+
+std::optional<std::map<std::string, double>> opampPlanInputs(
+    const sizing::SpecSet& specs, double loadCap) {
+  std::map<std::string, double> in{{"spec.cload", loadCap}};
+  for (const auto& s : specs.specs()) {
+    if (s.isObjective()) continue;
+    for (const auto& p : core::electricalPerformanceTable()) {
+      if (s.performance != p.name) continue;
+      if (p.upperBoundOnly && s.kind != sizing::SpecKind::LessEqual) continue;
+      in[p.planInput] = s.bound;
+    }
+    // Slew is plan input material even though the verification testbench
+    // does not measure it (the plans size the tail current from it).
+    if (s.performance == "slew") in["spec.slew"] = s.bound;
+  }
+  if (!in.count("spec.gain_db") || !in.count("spec.ugf")) return std::nullopt;
+  if (!in.count("spec.pm")) in["spec.pm"] = 60.0;
+  if (!in.count("spec.slew")) in["spec.slew"] = 2.0 * in["spec.ugf"];
+  return in;
+}
 
 namespace {
 constexpr double kTwoPi = 2.0 * M_PI;

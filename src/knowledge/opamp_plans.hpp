@@ -11,11 +11,24 @@
 // result.
 #pragma once
 
+#include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "knowledge/plan.hpp"
+#include "sizing/spec.hpp"
 
 namespace amsyn::knowledge {
+
+/// Map a (possibly retargeted) spec set onto the opamp plans' input context
+/// keys (spec.gain_db, spec.ugf, spec.pm, spec.slew, spec.power_max,
+/// spec.cload), using the shared electrical-performance table
+/// (core/performances.hpp).  Returns nullopt when the specs do not carry
+/// the gain_db + ugf pair the plans require; otherwise fills the plan
+/// defaults (pm = 60 deg, slew = 2 * ugf) for inputs the specs omit.
+std::optional<std::map<std::string, double>> opampPlanInputs(
+    const sizing::SpecSet& specs, double loadCap);
 
 /// Two-stage Miller opamp plan with gain/power backtracking knobs.
 DesignPlan twoStageOpampPlan();

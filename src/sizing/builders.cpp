@@ -1,0 +1,46 @@
+#include "sizing/builders.hpp"
+
+#include "sizing/eqmodel.hpp"
+
+namespace amsyn::sizing {
+
+NetlistBuilderRegistry::NetlistBuilderRegistry() {
+  add("two-stage-miller",
+      [](const std::vector<double>& x, const circuit::Process& proc,
+         const OpampTestbench& tb) {
+        const TwoStageEquationModel model(proc, tb.loadCap);
+        return buildTwoStageOpamp(model.toParams(x), proc, tb);
+      });
+  add("five-transistor-ota",
+      [](const std::vector<double>& x, const circuit::Process& proc,
+         const OpampTestbench& tb) {
+        const OtaEquationModel model(proc, tb.loadCap);
+        return buildOta(model.toParams(x), proc, tb);
+      });
+}
+
+NetlistBuilderRegistry& NetlistBuilderRegistry::instance() {
+  static NetlistBuilderRegistry registry;
+  return registry;
+}
+
+void NetlistBuilderRegistry::add(const std::string& topology, NetlistBuilder builder) {
+  builders_[topology] = std::move(builder);
+}
+
+const NetlistBuilder* NetlistBuilderRegistry::find(const std::string& topology) const {
+  const auto it = builders_.find(topology);
+  return it == builders_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> NetlistBuilderRegistry::topologies() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) {
+    (void)builder;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace amsyn::sizing

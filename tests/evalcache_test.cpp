@@ -19,6 +19,7 @@
 #include "circuit/process.hpp"
 #include "core/evalcache.hpp"
 #include "core/flow.hpp"
+#include "core/flowgraph.hpp"
 #include "core/parallel.hpp"
 #include "manufacture/corners.hpp"
 #include "sizing/eqmodel.hpp"
@@ -218,6 +219,30 @@ TEST(EvalCache, ClearDropsEntriesButKeepsLifetimeTotals) {
 }
 
 // ---------------------------------------------------------------------------
+// EvalCacheOptions: the flow's explicit tri-state cache knob
+
+TEST(EvalCacheOptions, DefaultModeLeavesTheCacheUntouched) {
+  CacheGuard guard;
+  guard.c.setCapacity(1234);
+  core::applyEvalCacheOptions(core::EvalCacheOptions::defaults());
+  EXPECT_TRUE(guard.c.enabled());
+  EXPECT_EQ(guard.c.capacity(), 1234u);
+}
+
+TEST(EvalCacheOptions, BoundedModeSetsTheCapacity) {
+  CacheGuard guard;
+  core::applyEvalCacheOptions(core::EvalCacheOptions::bounded(64));
+  EXPECT_TRUE(guard.c.enabled());
+  EXPECT_EQ(guard.c.capacity(), 64u);
+}
+
+TEST(EvalCacheOptions, DisabledModeSwitchesTheCacheOff) {
+  CacheGuard guard;
+  core::applyEvalCacheOptions(core::EvalCacheOptions::disabled());
+  EXPECT_FALSE(guard.c.enabled());
+}
+
+// ---------------------------------------------------------------------------
 // safeEvaluate integration: the single choke point all hot loops share
 
 TEST(EvalCache, SafeEvaluateHitsOnRepeatAndKillSwitchDisables) {
@@ -327,11 +352,28 @@ core::FlowResult runFlow(bool cacheOn, std::size_t threads) {
 
 /// The run-report prefix that is a pure function of the FlowResult: report
 /// name + info + values.  Counters/spans legitimately differ with the cache
-/// on (less simulator work ran, and span timings are wall clock).
+/// on (less simulator work ran, and span timings are wall clock), and the
+/// per-stage `stage.N.seconds` values are wall clock too, so their digits
+/// are masked before comparing.
 std::string reportResultPrefix(const core::FlowResult& r) {
-  const std::string json = core::flowRunReportJson(r);
+  std::string json = core::flowRunReportJson(r);
   const auto pos = json.find("\"counters\"");
-  return pos == std::string::npos ? json : json.substr(0, pos);
+  if (pos != std::string::npos) json = json.substr(0, pos);
+  std::string masked;
+  std::size_t at = 0;
+  while (true) {
+    const auto hit = json.find(".seconds\": ", at);
+    if (hit == std::string::npos) break;
+    const auto valueStart = hit + std::strlen(".seconds\": ");
+    auto valueEnd = valueStart;
+    while (valueEnd < json.size() && json[valueEnd] != ',' && json[valueEnd] != '\n')
+      ++valueEnd;
+    masked += json.substr(at, valueStart - at);
+    masked += '#';
+    at = valueEnd;
+  }
+  masked += json.substr(at);
+  return masked;
 }
 
 void expectFlowsBitIdentical(const core::FlowResult& a, const core::FlowResult& b,
@@ -349,6 +391,15 @@ void expectFlowsBitIdentical(const core::FlowResult& a, const core::FlowResult& 
     EXPECT_EQ(a.verifications[i].passed, b.verifications[i].passed);
     EXPECT_TRUE(
         perfBitIdentical(a.verifications[i].measured, b.verifications[i].measured));
+  }
+  // Stage records match field for field except `seconds` (wall clock).
+  ASSERT_EQ(a.stageRecords.size(), b.stageRecords.size());
+  for (std::size_t i = 0; i < a.stageRecords.size(); ++i) {
+    EXPECT_EQ(a.stageRecords[i].name, b.stageRecords[i].name);
+    EXPECT_EQ(a.stageRecords[i].attempt, b.stageRecords[i].attempt);
+    EXPECT_EQ(a.stageRecords[i].status, b.stageRecords[i].status);
+    EXPECT_EQ(a.stageRecords[i].detail, b.stageRecords[i].detail);
+    EXPECT_EQ(a.stageRecords[i].evalStatus, b.stageRecords[i].evalStatus);
   }
   EXPECT_EQ(reportResultPrefix(a), reportResultPrefix(b));
 }

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/ac.hpp"
+#include "sizing/builders.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
 #include "sizing/cost.hpp"
@@ -205,4 +207,24 @@ TEST(OpampTemplates, AreaScalesWithWidths) {
   big.w1 *= 4;
   big.w6 *= 4;
   EXPECT_GT(big.activeArea(proc()), small.activeArea(proc()));
+}
+
+TEST(NetlistBuilders, RegistryCoversTheBuiltInTopologiesAndMatchesDirectBuilds) {
+  auto& reg = sz::NetlistBuilderRegistry::instance();
+  const auto names = reg.topologies();
+  EXPECT_NE(std::find(names.begin(), names.end(), "two-stage-miller"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "five-transistor-ota"), names.end());
+  EXPECT_EQ(reg.find("no-such-topology"), nullptr);
+
+  // The registered builder is the same construction as the direct path.
+  const sz::OpampTestbench tb{5e-12, 2.2, true};
+  const sz::OtaEquationModel model(proc(), tb.loadCap);
+  std::vector<double> x;
+  for (const auto& v : model.variables()) x.push_back(std::sqrt(v.lo * v.hi));
+  const auto* builder = reg.find("five-transistor-ota");
+  ASSERT_NE(builder, nullptr);
+  const auto viaRegistry = (*builder)(x, proc(), tb);
+  const auto direct = sz::buildOta(model.toParams(x), proc(), tb);
+  EXPECT_EQ(viaRegistry.devices().size(), direct.devices().size());
+  EXPECT_EQ(viaRegistry.totalGateArea(), direct.totalGateArea());
 }
