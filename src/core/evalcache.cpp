@@ -100,7 +100,7 @@ struct EvalCache::Impl {
   std::atomic<std::uint64_t> bytes{0};
   Shard shards[kShards];
 
-  metrics::CounterId cHits, cMisses, cInserts, cEvictions, cCollisions;
+  metrics::CounterId cHits, cMisses, cInserts, cEvictions, cCollisions, cBypasses;
 
   Impl() {
     auto& reg = metrics::Registry::instance();
@@ -112,6 +112,7 @@ struct EvalCache::Impl {
     cInserts = reg.counter("core.cache.inserts");
     cEvictions = reg.counter("core.cache.evictions");
     cCollisions = reg.counter("core.cache.collisions");
+    cBypasses = reg.counter("core.cache.bypasses");
     reg.registerExternal("core.cache.entries",
                          [this] { return entries.load(std::memory_order_relaxed); });
     reg.registerExternal("core.cache.bytes",
@@ -215,6 +216,8 @@ void EvalCache::insert(const Digest128& key, const std::vector<double>& exactX,
   }
 }
 
+void EvalCache::noteBypass() { metrics::add(impl().cBypasses); }
+
 void EvalCache::clear() {
   Impl& im = impl();
   for (auto& shard : im.shards) {
@@ -237,6 +240,7 @@ CacheStats EvalCache::stats() const {
   s.inserts = reg.total(im.cInserts);
   s.evictions = reg.total(im.cEvictions);
   s.collisions = reg.total(im.cCollisions);
+  s.bypasses = reg.total(im.cBypasses);
   s.entries = im.entries.load(std::memory_order_relaxed);
   s.bytes = im.bytes.load(std::memory_order_relaxed);
   return s;

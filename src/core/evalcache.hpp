@@ -183,6 +183,7 @@ struct CacheStats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   std::uint64_t collisions = 0;  ///< digest matched but exact x differed
+  std::uint64_t bypasses = 0;    ///< cheap evaluations that skipped the cache
   std::uint64_t entries = 0;
   std::uint64_t bytes = 0;  ///< approximate payload bytes resident
 };
@@ -217,6 +218,12 @@ class EvalCache {
   /// payload for a key sticks, which is safe because any two writers
   /// computed it from the same deterministic evaluation.
   void insert(const Digest128& key, const std::vector<double>& exactX, CachedEval value);
+
+  /// Tally one deliberate cache bypass (core.cache.bypasses): an evaluation
+  /// cheaper than its own digest — safeEvaluate skips both the lookup and
+  /// the insert for models attesting EvalCost::Cheap, and records the
+  /// decision here so hit-rate math stays honest.
+  void noteBypass();
 
   /// Drop every entry (stats/counters keep their lifetime totals).
   void clear();

@@ -88,6 +88,7 @@ std::vector<FlowResult> synthesizeBatch(const std::vector<sizing::SpecSet>& batc
   // Configure the shared cache once up front; each per-design engine re-runs
   // the same (idempotent) application, so fan-out order cannot matter.
   applyEvalCacheOptions(opts.evalCache);
+  applySolverOption(opts.solver);
   return parallelMap(batch.size(), [&](std::size_t i) {
     FlowEngine engine(amplifierStageGraph());
     return engine.run(batch[i], proc, batchItemOptions(opts, i));

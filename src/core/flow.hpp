@@ -65,6 +65,19 @@ struct EvalCacheOptions {
   }
 };
 
+/// Which linear-solver kernel the simulation analyses use (sim/solver.hpp).
+/// Default keeps the current / AMSYN_SOLVER env-derived mode; the other
+/// values set the process-wide mode at flow start.  Like the eval cache,
+/// this knob only changes *speed*: the sparse path replays the dense
+/// kernel's arithmetic bit-exactly (see numeric/sparse_lu.hpp), so flow
+/// results are identical across modes.
+enum class SolverOption {
+  Default,  ///< keep the current / AMSYN_SOLVER env-derived setting
+  Auto,     ///< sparse above a size threshold, dense below
+  Dense,    ///< always the dense LU kernel
+  Sparse,   ///< always the sparse path (dense fallback on guard trips)
+};
+
 struct FlowOptions {
   double loadCap = 5e-12;
   std::size_t maxRedesigns = 4;   ///< layout->synthesis loop closures
@@ -76,6 +89,7 @@ struct FlowOptions {
   AcTestbench testbench;
   std::uint64_t seed = 1;
   EvalCacheOptions evalCache;
+  SolverOption solver = SolverOption::Default;
 };
 
 /// Record of one verification: measured performances vs the spec verdict.

@@ -7,6 +7,7 @@
 #include "core/evalcache.hpp"
 #include "core/trace.hpp"
 #include "knowledge/opamp_plans.hpp"
+#include "sim/solver.hpp"
 #include "sizing/builders.hpp"
 #include "sizing/eqmodel.hpp"
 #include "sizing/perfmodel.hpp"
@@ -63,6 +64,22 @@ void applyEvalCacheOptions(const EvalCacheOptions& opts) {
       break;
     case EvalCacheOptions::Mode::Bounded:
       cache::EvalCache::instance().setCapacity(opts.capacity);
+      break;
+  }
+}
+
+void applySolverOption(SolverOption opt) {
+  switch (opt) {
+    case SolverOption::Default:
+      break;
+    case SolverOption::Auto:
+      sim::setSolverMode(sim::SolverMode::Auto);
+      break;
+    case SolverOption::Dense:
+      sim::setSolverMode(sim::SolverMode::Dense);
+      break;
+    case SolverOption::Sparse:
+      sim::setSolverMode(sim::SolverMode::Sparse);
       break;
   }
 }
@@ -149,6 +166,7 @@ FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process&
                            const FlowOptions& opts) {
   AMSYN_SPAN("flow");
   applyEvalCacheOptions(opts.evalCache);
+  applySolverOption(opts.solver);
 
   DesignContext ctx(specs, proc, opts);
   ctx.electrical = filterElectrical(specs);

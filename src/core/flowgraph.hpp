@@ -286,4 +286,8 @@ std::vector<std::unique_ptr<FlowStage>> amplifierStageGraph();
 /// by the engine at flow start and by synthesizeBatch before fan-out).
 void applyEvalCacheOptions(const EvalCacheOptions& opts);
 
+/// Apply a solver-kernel choice to the process-wide mode (same call sites
+/// as applyEvalCacheOptions; Default is a no-op).
+void applySolverOption(SolverOption opt);
+
 }  // namespace amsyn::core

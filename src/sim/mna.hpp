@@ -38,6 +38,13 @@ struct AssemblyOptions {
   const std::map<std::size_t, CompanionState>* companions = nullptr;
 };
 
+namespace detail {
+/// Diode current/conductance with overflow-safe exponential.  Shared by the
+/// dense assembler and the sparse stamp batches (sim/mnasparse.cpp) so both
+/// produce bit-identical stamps.
+void diodeEval(double v, double isat, double vt, double& i, double& g);
+}  // namespace detail
+
 class Mna {
  public:
   Mna(const Netlist& net, const Process& proc);

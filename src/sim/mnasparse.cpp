@@ -1,0 +1,456 @@
+#include "sim/mnasparse.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace amsyn::sim {
+
+using circuit::Device;
+using circuit::DeviceType;
+using circuit::kGround;
+using circuit::MosOp;
+using circuit::NodeId;
+
+namespace {
+constexpr std::size_t kNoRow = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+SparseMna::SparseMna(const Mna& mna) : mna_(mna), n_(mna.size()) {
+  const auto& devs = mna_.netlist().devices();
+  num::CscBuilder bld(n_);
+  auto row = [&](NodeId nd) {
+    return nd == kGround ? kNoRow : static_cast<std::size_t>(nd) - 1;
+  };
+  auto reg = [&](std::size_t r, std::size_t c) {
+    return (r == kNoRow || c == kNoRow) ? kNoRow : bld.add(r, c);
+  };
+  auto makeTwoNode = [&](NodeId a, NodeId b) {
+    TwoNodeStamp t;
+    t.a = a;
+    t.b = b;
+    t.fa = row(a);
+    t.fb = row(b);
+    t.jaa = reg(t.fa, t.fa);
+    t.jab = reg(t.fa, t.fb);
+    t.jbb = reg(t.fb, t.fb);
+    t.jba = reg(t.fb, t.fa);
+    return t;
+  };
+
+  // Register the union pattern: DC + transient companion + AC C-matrix
+  // stamps for every device, so one structure serves every analysis mode
+  // (unused positions assemble to explicit zeros, like the dense matrix).
+  for (std::size_t k = 0; k < devs.size(); ++k) {
+    const Device& d = devs[k];
+    switch (d.type) {
+      case DeviceType::Resistor: {
+        ResistorRec r;
+        r.s = makeTwoNode(d.nodes[0], d.nodes[1]);
+        r.g = 1.0 / d.value;
+        recs_.push_back({d.type, resistors_.size()});
+        resistors_.push_back(r);
+        break;
+      }
+      case DeviceType::Capacitor: {
+        CapacitorRec c;
+        c.s = makeTwoNode(d.nodes[0], d.nodes[1]);
+        c.dev = k;
+        c.value = d.value;
+        recs_.push_back({d.type, capacitors_.size()});
+        capacitors_.push_back(c);
+        break;
+      }
+      case DeviceType::Diode: {
+        DiodeRec r;
+        r.s = makeTwoNode(d.nodes[0], d.nodes[1]);
+        r.isat = d.diodeIs;
+        recs_.push_back({d.type, diodes_.size()});
+        diodes_.push_back(r);
+        break;
+      }
+      case DeviceType::Inductor: {
+        InductorRec L;
+        L.dev = k;
+        L.a = d.nodes[0];
+        L.b = d.nodes[1];
+        L.fa = row(L.a);
+        L.fb = row(L.b);
+        L.br = mna_.branchIndex(k);
+        L.jabr = reg(L.fa, L.br);
+        L.jbbr = reg(L.fb, L.br);
+        L.jbra = reg(L.br, L.fa);
+        L.jbrb = reg(L.br, L.fb);
+        L.jbrbr = reg(L.br, L.br);
+        L.value = d.value;
+        recs_.push_back({d.type, inductors_.size()});
+        inductors_.push_back(L);
+        break;
+      }
+      case DeviceType::VSource: {
+        VSourceRec V;
+        V.dev = k;
+        V.p = d.nodes[0];
+        V.m = d.nodes[1];
+        V.fp = row(V.p);
+        V.fm = row(V.m);
+        V.br = mna_.branchIndex(k);
+        V.jpbr = reg(V.fp, V.br);
+        V.jmbr = reg(V.fm, V.br);
+        V.jbrp = reg(V.br, V.fp);
+        V.jbrm = reg(V.br, V.fm);
+        recs_.push_back({d.type, vsources_.size()});
+        vsources_.push_back(V);
+        break;
+      }
+      case DeviceType::ISource: {
+        ISourceRec I;
+        I.dev = k;
+        I.fa = row(d.nodes[0]);
+        I.fb = row(d.nodes[1]);
+        recs_.push_back({d.type, isources_.size()});
+        isources_.push_back(I);
+        break;
+      }
+      case DeviceType::Vcvs: {
+        VcvsRec E;
+        E.dev = k;
+        E.p = d.nodes[0];
+        E.m = d.nodes[1];
+        E.cp = d.nodes[2];
+        E.cm = d.nodes[3];
+        E.fp = row(E.p);
+        E.fm = row(E.m);
+        E.br = mna_.branchIndex(k);
+        E.jpbr = reg(E.fp, E.br);
+        E.jmbr = reg(E.fm, E.br);
+        E.jbrp = reg(E.br, E.fp);
+        E.jbrm = reg(E.br, E.fm);
+        E.jbrcp = reg(E.br, row(E.cp));
+        E.jbrcm = reg(E.br, row(E.cm));
+        recs_.push_back({d.type, vcvs_.size()});
+        vcvs_.push_back(E);
+        break;
+      }
+      case DeviceType::Vccs: {
+        VccsRec G;
+        G.cp = d.nodes[2];
+        G.cm = d.nodes[3];
+        G.fp = row(d.nodes[0]);
+        G.fm = row(d.nodes[1]);
+        G.jpcp = reg(G.fp, row(G.cp));
+        G.jpcm = reg(G.fp, row(G.cm));
+        G.jmcp = reg(G.fm, row(G.cp));
+        G.jmcm = reg(G.fm, row(G.cm));
+        G.value = d.value;
+        recs_.push_back({d.type, vccs_.size()});
+        vccs_.push_back(G);
+        break;
+      }
+      case DeviceType::Mos: {
+        MosRec m;
+        m.dev = k;
+        const NodeId nd = d.nodes[0], ng = d.nodes[1], ns = d.nodes[2], nb = d.nodes[3];
+        m.fd = row(nd);
+        m.fs = row(ns);
+        const NodeId terms[4] = {nd, ng, ns, nb};
+        for (int t = 0; t < 4; ++t) {
+          m.jd[t] = reg(m.fd, row(terms[t]));
+          m.js[t] = reg(m.fs, row(terms[t]));
+        }
+        m.caps[0] = makeTwoNode(ng, ns);
+        m.caps[1] = makeTwoNode(ng, nd);
+        m.caps[2] = makeTwoNode(ng, nb);
+        m.caps[3] = makeTwoNode(nd, nb);
+        m.caps[4] = makeTwoNode(ns, nb);
+        recs_.push_back({d.type, mos_.size()});
+        mos_.push_back(m);
+        break;
+      }
+    }
+  }
+  std::vector<std::size_t> gminHandles;
+  gminHandles.reserve(mna_.nodeUnknowns());
+  for (std::size_t i = 0; i < mna_.nodeUnknowns(); ++i) gminHandles.push_back(bld.add(i, i));
+
+  a_ = bld.finalize<double>(slotOf_);
+  gminSlots_.reserve(gminHandles.size());
+  for (std::size_t h : gminHandles) gminSlots_.push_back(slotOf_[h]);
+
+  core::cache::Hasher128 h;
+  h.mixString("mna-pattern");
+  h.mix(n_);
+  for (std::size_t p : a_.colPtr) h.mix(p);
+  for (std::size_t r : a_.row) h.mix(r);
+  digest_ = h.digest();
+}
+
+void SparseMna::assemble(const num::VecD& x, const AssemblyOptions& opt, bool wantJacobian,
+                         num::VecD* residual) {
+  if (x.size() != n_) throw std::invalid_argument("SparseMna::assemble: state size mismatch");
+  const auto& devs = mna_.netlist().devices();
+  const bool transient = opt.time >= 0.0;
+  const double vtherm = mna_.process().kT() / 1.602176634e-19;
+  auto v = [&](NodeId nd) { return mna_.nodeVoltage(x, nd); };
+
+  // ---- Phase 1: batched device-model evaluation (struct of arrays). ----
+  // All model math runs here over contiguous per-type arrays; the stamping
+  // pass below only performs adds.  Evaluation order across devices is free
+  // (the models are pure functions), accumulation order is not.
+  resCur_.resize(resistors_.size());
+  for (std::size_t i = 0; i < resistors_.size(); ++i) {
+    const ResistorRec& r = resistors_[i];
+    resCur_[i] = r.g * (v(r.s.a) - v(r.s.b));
+  }
+  dioCur_.resize(diodes_.size());
+  dioCond_.resize(diodes_.size());
+  for (std::size_t i = 0; i < diodes_.size(); ++i) {
+    const DiodeRec& r = diodes_[i];
+    detail::diodeEval(v(r.s.a) - v(r.s.b), r.isat, vtherm, dioCur_[i], dioCond_[i]);
+  }
+  mosOp_.resize(mos_.size());
+  if (wantJacobian) mosDidv_.resize(mos_.size() * 4);
+  for (std::size_t i = 0; i < mos_.size(); ++i) {
+    const Device& d = devs[mos_[i].dev];
+    const double vd = v(d.nodes[0]), vg = v(d.nodes[1]), vs = v(d.nodes[2]),
+                 vb = v(d.nodes[3]);
+    mosOp_[i] = circuit::evalMos(d.mos, mna_.process(), vd, vg, vs, vb);
+    if (wantJacobian) {
+      // Central differences, exactly as the dense assembler computes them.
+      constexpr double kH = 1e-6;
+      const double volts[4] = {vd, vg, vs, vb};
+      for (int t = 0; t < 4; ++t) {
+        double vp[4] = {volts[0], volts[1], volts[2], volts[3]};
+        double vm[4] = {volts[0], volts[1], volts[2], volts[3]};
+        vp[t] += kH;
+        vm[t] -= kH;
+        const double ip =
+            circuit::evalMos(d.mos, mna_.process(), vp[0], vp[1], vp[2], vp[3]).ids;
+        const double im =
+            circuit::evalMos(d.mos, mna_.process(), vm[0], vm[1], vm[2], vm[3]).ids;
+        mosDidv_[i * 4 + t] = (ip - im) / (2.0 * kH);
+      }
+    }
+  }
+
+  // ---- Phase 2: stamping in netlist declaration order. ----
+  // Every slot and residual row receives the same adds in the same order as
+  // the dense assembler, so the assembled values are bit-identical.
+  if (wantJacobian) std::fill(a_.val.begin(), a_.val.end(), 0.0);
+  if (residual) residual->assign(n_, 0.0);
+  auto addA = [&](std::size_t h, double val) {
+    if (wantJacobian && h != kNoRow) a_.val[slotOf_[h]] += val;
+  };
+  auto addF = [&](std::size_t r, double val) {
+    if (residual && r != kNoRow) (*residual)[r] += val;
+  };
+  auto stampTwoNode = [&](const TwoNodeStamp& t, double i, double g) {
+    addF(t.fa, i);
+    addF(t.fb, -i);
+    addA(t.jaa, g);
+    addA(t.jab, -g);
+    addA(t.jbb, g);
+    addA(t.jba, -g);
+  };
+  auto companion = [&](std::size_t dev, std::size_t slot, double cap, double vNow,
+                       double& geq, double& i) {
+    const std::size_t key = (dev << 3) | slot;
+    const CompanionState st =
+        opt.companions && opt.companions->count(key) ? opt.companions->at(key)
+                                                     : CompanionState{};
+    const double h = opt.timestep;
+    if (opt.trapezoidal) {
+      geq = 2.0 * cap / h;
+      i = geq * (vNow - st.prevV) - st.prevI;
+    } else {
+      geq = cap / h;
+      i = geq * (vNow - st.prevV);
+    }
+  };
+
+  for (const Rec& rec : recs_) {
+    switch (rec.type) {
+      case DeviceType::Resistor: {
+        const ResistorRec& r = resistors_[rec.idx];
+        stampTwoNode(r.s, resCur_[rec.idx], r.g);
+        break;
+      }
+      case DeviceType::Capacitor: {
+        if (!transient) break;  // open at DC
+        const CapacitorRec& c = capacitors_[rec.idx];
+        double geq, i;
+        companion(c.dev, 7, c.value, v(c.s.a) - v(c.s.b), geq, i);
+        stampTwoNode(c.s, i, geq);
+        break;
+      }
+      case DeviceType::Diode: {
+        const DiodeRec& r = diodes_[rec.idx];
+        stampTwoNode(r.s, dioCur_[rec.idx], dioCond_[rec.idx]);
+        break;
+      }
+      case DeviceType::Inductor: {
+        const InductorRec& L = inductors_[rec.idx];
+        const double i = x[L.br];
+        addF(L.fa, i);
+        addF(L.fb, -i);
+        addA(L.jabr, 1.0);
+        addA(L.jbbr, -1.0);
+        if (!transient) {
+          addF(L.br, v(L.a) - v(L.b));  // short at DC
+          addA(L.jbra, 1.0);
+          addA(L.jbrb, -1.0);
+        } else {
+          const std::size_t key = (L.dev << 3) | 6;
+          const CompanionState st =
+              opt.companions && opt.companions->count(key) ? opt.companions->at(key)
+                                                           : CompanionState{};
+          const double h = opt.timestep;
+          const double req = (opt.trapezoidal ? 2.0 : 1.0) * L.value / h;
+          const double extra = opt.trapezoidal ? -st.prevI : 0.0;
+          addF(L.br, v(L.a) - v(L.b) - req * (x[L.br] - st.prevV) - extra);
+          addA(L.jbra, 1.0);
+          addA(L.jbrb, -1.0);
+          addA(L.jbrbr, -req);
+        }
+        break;
+      }
+      case DeviceType::VSource: {
+        const VSourceRec& V = vsources_[rec.idx];
+        addF(V.fp, x[V.br]);
+        addF(V.fm, -x[V.br]);
+        addA(V.jpbr, 1.0);
+        addA(V.jmbr, -1.0);
+        const Device& d = devs[V.dev];
+        const double val = transient ? d.waveform.at(opt.time) : d.value * opt.sourceScale;
+        addF(V.br, v(V.p) - v(V.m) - val);
+        addA(V.jbrp, 1.0);
+        addA(V.jbrm, -1.0);
+        break;
+      }
+      case DeviceType::ISource: {
+        const ISourceRec& I = isources_[rec.idx];
+        const Device& d = devs[I.dev];
+        const double val = transient ? d.waveform.at(opt.time) : d.value * opt.sourceScale;
+        addF(I.fa, val);
+        addF(I.fb, -val);
+        break;
+      }
+      case DeviceType::Vcvs: {
+        const VcvsRec& E = vcvs_[rec.idx];
+        addF(E.fp, x[E.br]);
+        addF(E.fm, -x[E.br]);
+        addA(E.jpbr, 1.0);
+        addA(E.jmbr, -1.0);
+        const Device& d = devs[E.dev];
+        addF(E.br, v(E.p) - v(E.m) - d.value * (v(E.cp) - v(E.cm)));
+        addA(E.jbrp, 1.0);
+        addA(E.jbrm, -1.0);
+        addA(E.jbrcp, -d.value);
+        addA(E.jbrcm, d.value);
+        break;
+      }
+      case DeviceType::Vccs: {
+        const VccsRec& G = vccs_[rec.idx];
+        const double i = G.value * (v(G.cp) - v(G.cm));
+        addF(G.fp, i);
+        addF(G.fm, -i);
+        addA(G.jpcp, G.value);
+        addA(G.jpcm, -G.value);
+        addA(G.jmcp, -G.value);
+        addA(G.jmcm, G.value);
+        break;
+      }
+      case DeviceType::Mos: {
+        const MosRec& m = mos_[rec.idx];
+        const MosOp& op = mosOp_[rec.idx];
+        addF(m.fd, op.ids);
+        addF(m.fs, -op.ids);
+        if (wantJacobian) {
+          for (int t = 0; t < 4; ++t) {
+            const double didv = mosDidv_[rec.idx * 4 + t];
+            addA(m.jd[t], didv);
+            addA(m.js[t], -didv);
+          }
+        }
+        if (transient && opt.companions) {
+          const double caps[5] = {op.cgs, op.cgd, op.cgb, op.cdb, op.csb};
+          for (std::size_t cc = 0; cc < 5; ++cc) {
+            const TwoNodeStamp& s = m.caps[cc];
+            double geq, i;
+            companion(m.dev, cc, caps[cc], v(s.a) - v(s.b), geq, i);
+            stampTwoNode(s, i, geq);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (opt.gmin > 0.0) {
+    for (std::size_t i = 0; i < mna_.nodeUnknowns(); ++i) {
+      if (residual) (*residual)[i] += opt.gmin * x[i];
+      if (wantJacobian) a_.val[gminSlots_[i]] += opt.gmin;
+    }
+  }
+}
+
+void SparseMna::acValues(const num::VecD& xOp, std::vector<double>& gVals,
+                         std::vector<double>& cVals, num::VecD& b) {
+  const auto& devs = mna_.netlist().devices();
+  AssemblyOptions opt;
+  opt.gmin = 1e-12;
+  assemble(xOp, opt, true, nullptr);
+  gVals = a_.val;
+
+  cVals.assign(a_.val.size(), 0.0);
+  b.assign(n_, 0.0);
+  auto addC = [&](const TwoNodeStamp& t, double cap) {
+    if (t.fa != kNoRow) cVals[slotOf_[t.jaa]] += cap;
+    if (t.fb != kNoRow) cVals[slotOf_[t.jbb]] += cap;
+    if (t.fa != kNoRow && t.fb != kNoRow) {
+      cVals[slotOf_[t.jab]] -= cap;
+      cVals[slotOf_[t.jba]] -= cap;
+    }
+  };
+  for (const Rec& rec : recs_) {
+    switch (rec.type) {
+      case DeviceType::Capacitor:
+        addC(capacitors_[rec.idx].s, capacitors_[rec.idx].value);
+        break;
+      case DeviceType::Inductor: {
+        const InductorRec& L = inductors_[rec.idx];
+        cVals[slotOf_[L.jbrbr]] -= L.value;
+        break;
+      }
+      case DeviceType::Mos: {
+        // The phase-1 batch of the assemble() above evaluated every MOS at
+        // xOp already; reuse those operating points (bit-identical to a
+        // fresh evalMos — the model is a pure function).
+        const MosRec& m = mos_[rec.idx];
+        const MosOp& op = mosOp_[rec.idx];
+        addC(m.caps[0], op.cgs);
+        addC(m.caps[1], op.cgd);
+        addC(m.caps[2], op.cgb);
+        addC(m.caps[3], op.cdb);
+        addC(m.caps[4], op.csb);
+        break;
+      }
+      case DeviceType::VSource: {
+        const VSourceRec& V = vsources_[rec.idx];
+        b[V.br] += devs[V.dev].acMag;
+        break;
+      }
+      case DeviceType::ISource: {
+        const ISourceRec& I = isources_[rec.idx];
+        const double mag = devs[I.dev].acMag;
+        if (I.fa != kNoRow) b[I.fa] -= mag;
+        if (I.fb != kNoRow) b[I.fb] += mag;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace amsyn::sim

@@ -29,6 +29,12 @@ TwoStageEquationModel::TwoStageEquationModel(const circuit::Process& proc, doubl
       {"vov6", 0.10, 0.8, false},   // output-driver overdrive
       {"cc", 0.2e-12, 2e-11, true}, // Miller capacitor
   };
+  // The key components that never change per model instance — identity tag,
+  // process parameters, load — are mixed once here; cacheKey() copies the
+  // prefix hasher (two words) and only mixes the sizing vector per call.
+  keyPrefix_.mixString("eq-two-stage");
+  circuit::hashProcess(keyPrefix_, proc_);
+  keyPrefix_.mixDouble(loadCap_);
 }
 
 Performance TwoStageEquationModel::evaluate(const std::vector<double>& x) const {
@@ -45,10 +51,7 @@ Performance TwoStageEquationModel::evaluate(const std::vector<double>& x) const 
 
 std::optional<core::cache::Digest128> TwoStageEquationModel::cacheKey(
     const std::vector<double>& x) const {
-  core::cache::Hasher128 h;
-  h.mixString("eq-two-stage");
-  circuit::hashProcess(h, proc_);
-  h.mixDouble(loadCap_);
+  core::cache::Hasher128 h = keyPrefix_;
   h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
   return h.digest();
 }
@@ -86,6 +89,9 @@ OtaEquationModel::OtaEquationModel(const circuit::Process& proc, double loadCap)
       {"vov3", 0.10, 0.8, false},
       {"vov5", 0.10, 0.8, false},
   };
+  keyPrefix_.mixString("eq-ota");
+  circuit::hashProcess(keyPrefix_, proc_);
+  keyPrefix_.mixDouble(loadCap_);
 }
 
 Performance OtaEquationModel::evaluate(const std::vector<double>& x) const {
@@ -123,10 +129,7 @@ Performance OtaEquationModel::evaluate(const std::vector<double>& x) const {
 
 std::optional<core::cache::Digest128> OtaEquationModel::cacheKey(
     const std::vector<double>& x) const {
-  core::cache::Hasher128 h;
-  h.mixString("eq-ota");
-  circuit::hashProcess(h, proc_);
-  h.mixDouble(loadCap_);
+  core::cache::Hasher128 h = keyPrefix_;
   h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
   return h.digest();
 }
@@ -158,6 +161,7 @@ class OwningProcessModel : public PerformanceModel {
   Performance evaluate(const std::vector<double>& x) const override {
     return inner_.evaluate(x);
   }
+  EvalCost evalCost() const override { return inner_.evalCost(); }
 
  private:
   circuit::Process proc_;
@@ -256,7 +260,12 @@ class TwoStageCornerModel : public PerformanceModel {
   TwoStageCornerModel(const circuit::Process& corner, const circuit::Process& nominal,
                       double loadCap)
       : corner_(corner), nominal_(nominal), nominalModel_(nominal_, loadCap),
-        loadCap_(loadCap) {}
+        loadCap_(loadCap) {
+    keyPrefix_.mixString("eq-two-stage-corner");
+    circuit::hashProcess(keyPrefix_, corner_);
+    circuit::hashProcess(keyPrefix_, nominal_);
+    keyPrefix_.mixDouble(loadCap_);
+  }
 
   const std::vector<DesignVariable>& variables() const override {
     return nominalModel_.variables();
@@ -273,20 +282,22 @@ class TwoStageCornerModel : public PerformanceModel {
   /// evaluated at the corner.
   std::optional<core::cache::Digest128> cacheKey(
       const std::vector<double>& x) const override {
-    core::cache::Hasher128 h;
-    h.mixString("eq-two-stage-corner");
-    circuit::hashProcess(h, corner_);
-    circuit::hashProcess(h, nominal_);
-    h.mixDouble(loadCap_);
+    core::cache::Hasher128 h = keyPrefix_;
     h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
     return h.digest();
   }
+
+  // Stays Heavy: the corner hunt's value is precisely the cross-round /
+  // audit re-hit pattern, and the cost of one evaluation (geometry map +
+  // 80-iteration UGF bisection, times the vertex fan-out) clears the
+  // cache-transaction bar.
 
  private:
   circuit::Process corner_;
   circuit::Process nominal_;
   TwoStageEquationModel nominalModel_;
   double loadCap_;
+  core::cache::Hasher128 keyPrefix_;  ///< tag+corner+nominal+loadCap
 };
 
 }  // namespace

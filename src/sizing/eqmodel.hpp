@@ -26,6 +26,10 @@ class TwoStageEquationModel : public PerformanceModel {
   Performance evaluate(const std::vector<double>& x) const override;
   std::optional<core::cache::Digest128> cacheKey(
       const std::vector<double>& x) const override;
+  /// Closed-form equations evaluate in ~1 us — the same order as a cache
+  /// transaction — so caching them is pure overhead (the BENCH_cache
+  /// genetic workload measures exactly this floor).
+  EvalCost evalCost() const override { return EvalCost::Cheap; }
 
   /// Map a design point to device sizes for simulation / layout.
   TwoStageParams toParams(const std::vector<double>& x) const;
@@ -36,6 +40,7 @@ class TwoStageEquationModel : public PerformanceModel {
   const circuit::Process& proc_;
   double loadCap_;
   std::vector<DesignVariable> vars_;
+  core::cache::Hasher128 keyPrefix_;  ///< tag+process+loadCap, mixed once
 };
 
 /// Five-transistor OTA, equation-based.
@@ -49,6 +54,7 @@ class OtaEquationModel : public PerformanceModel {
   Performance evaluate(const std::vector<double>& x) const override;
   std::optional<core::cache::Digest128> cacheKey(
       const std::vector<double>& x) const override;
+  EvalCost evalCost() const override { return EvalCost::Cheap; }
 
   OtaParams toParams(const std::vector<double>& x) const;
 
@@ -56,6 +62,7 @@ class OtaEquationModel : public PerformanceModel {
   const circuit::Process& proc_;
   double loadCap_;
   std::vector<DesignVariable> vars_;
+  core::cache::Hasher128 keyPrefix_;  ///< tag+process+loadCap, mixed once
 };
 
 /// Equation model that owns a copy of its process — corner and yield

@@ -14,10 +14,17 @@ Performance safeEvaluate(const PerformanceModel& model, const std::vector<double
   auto& cache = core::cache::EvalCache::instance();
   std::optional<core::cache::Digest128> key;
   if (cache.enabled()) {
-    key = model.cacheKey(x);
-    if (key) {
-      core::cache::CachedEval cached;
-      if (cache.lookup(*key, x, cached)) return std::move(cached.performance);
+    if (model.evalCost() == EvalCost::Cheap) {
+      // Evaluation ~ lookup cost: skip the digest, the lookup, *and* the
+      // insert (key stays nullopt below).  Counted so hit-rate math over
+      // core.cache.* stays honest about what the cache never saw.
+      cache.noteBypass();
+    } else {
+      key = model.cacheKey(x);
+      if (key) {
+        core::cache::CachedEval cached;
+        if (cache.lookup(*key, x, cached)) return std::move(cached.performance);
+      }
     }
   }
 

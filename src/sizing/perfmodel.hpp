@@ -59,6 +59,18 @@ inline core::EvalStatus performanceStatus(const Performance& perf) {
   return static_cast<core::EvalStatus>(code);
 }
 
+/// How an evaluation's cost compares to a cache transaction.  The memoized
+/// evaluation cache pays a canonical digest plus a sharded-map lookup per
+/// call (~1 us); a simulator evaluation costs hundreds of microseconds, but
+/// a closed-form equation model costs about one — caching the latter is all
+/// overhead and no win (BENCH_cache.json measures this floor directly).
+/// Models self-attest their tier so safeEvaluate can skip the cache for
+/// evaluations cheaper than their own key.
+enum class EvalCost : std::uint8_t {
+  Heavy,  ///< evaluation dominates a cache transaction: cache it (default)
+  Cheap,  ///< evaluation ~ lookup cost: bypass the cache entirely
+};
+
 /// Interface: map a design-variable vector to named performance numbers.
 class PerformanceModel {
  public:
@@ -90,6 +102,13 @@ class PerformanceModel {
     (void)x;
     return std::nullopt;
   }
+
+  /// Cost tier driving safeEvaluate's cache policy (see EvalCost).  Heavy
+  /// by default; models whose evaluate(x) costs about as much as a cache
+  /// transaction override to Cheap and are never cached.  The tier only
+  /// changes speed: a bypassed evaluation runs the same deterministic
+  /// evaluate(x) a miss would.
+  virtual EvalCost evalCost() const { return EvalCost::Heavy; }
 
   std::size_t dimension() const { return variables().size(); }
 };
