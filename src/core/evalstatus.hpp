@@ -13,14 +13,20 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <new>
 
 namespace amsyn::core {
 
 /// Why a candidate evaluation (or one analysis inside it) failed.  `Ok`
 /// means the result is trustworthy; everything else marks the result
 /// infeasible for the optimizer while remaining an ordinary value.
+/// Codes are append-only: the numeric value is persisted in cached
+/// Performance maps (sizing::kEvalStatusKey) and batch journals, so
+/// reordering existing entries would reinterpret old data.
 enum class EvalStatus : std::uint8_t {
   Ok = 0,
   DcNoConvergence,   ///< Newton + continuation ladder all failed to converge
@@ -30,6 +36,9 @@ enum class EvalStatus : std::uint8_t {
   BadTopology,       ///< the candidate could not even be built into a netlist
   NoAcCrossing,      ///< AC response never crossed unity gain (no ugf/pm)
   InternalError,     ///< an exception escaped the evaluator and was contained
+  DeadlineExpired,   ///< the job's wall-clock deadline passed mid-evaluation
+  OutOfMemory,       ///< std::bad_alloc was contained (never retried: see below)
+  Rejected,          ///< admission control shed the job before it ever ran
   kCount,            ///< number of reason codes (for counter arrays)
 };
 
@@ -48,9 +57,65 @@ inline constexpr const char* evalStatusName(EvalStatus s) {
     case EvalStatus::BadTopology: return "bad_topology";
     case EvalStatus::NoAcCrossing: return "no_ac_crossing";
     case EvalStatus::InternalError: return "internal_error";
+    case EvalStatus::DeadlineExpired: return "deadline_expired";
+    case EvalStatus::OutOfMemory: return "out_of_memory";
+    case EvalStatus::Rejected: return "rejected";
     case EvalStatus::kCount: break;
   }
   return "unknown";
+}
+
+/// Transient-vs-permanent split of the taxonomy: whether re-running the
+/// same evaluation could plausibly end differently.
+///
+///   * Transient (retryable): budget/deadline exhaustion depend on the
+///     allowance granted, not the candidate; a singular matrix can be an
+///     injected fault or a load-dependent numerical bailout; a contained
+///     exception may be environmental.  Retrying with a fresh allowance
+///     (or after a backoff) is worth the cost.
+///   * Permanent: dc_no_convergence, nan_detected, bad_topology, and
+///     no_ac_crossing are deterministic verdicts on the candidate itself —
+///     the same inputs re-fail identically.  out_of_memory is permanent by
+///     policy: retrying an allocation failure amplifies the overload that
+///     caused it (RetryPolicy additionally hard-excludes it even when a
+///     caller lists it as retryable).  rejected is the admission
+///     controller's verdict, owned by the submitter, not the retry loop.
+inline constexpr bool isRetryable(EvalStatus s) {
+  switch (s) {
+    case EvalStatus::SingularJacobian:
+    case EvalStatus::BudgetExhausted:
+    case EvalStatus::InternalError:
+    case EvalStatus::DeadlineExpired:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for the two "ran out of allowance" reasons (deterministic work
+/// units or wall clock) that every analysis treats as "stop charging, keep
+/// partial results".
+inline constexpr bool isWorkExhaustion(EvalStatus s) {
+  return s == EvalStatus::BudgetExhausted || s == EvalStatus::DeadlineExpired;
+}
+
+/// Classify a contained exception into the taxonomy: std::bad_alloc is
+/// out_of_memory (so OOM is never misfiled as a retryable internal error),
+/// anything else internal_error.  Null maps to Ok.
+inline EvalStatus classifyException(std::exception_ptr e) {
+  if (!e) return EvalStatus::Ok;
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::bad_alloc&) {
+    return EvalStatus::OutOfMemory;
+  } catch (...) {
+    return EvalStatus::InternalError;
+  }
+}
+
+/// classifyException(std::current_exception()) — for use inside catch(...).
+inline EvalStatus classifyCurrentException() {
+  return classifyException(std::current_exception());
 }
 
 /// Deterministic evaluation budget measured in Newton-iteration work units —
@@ -61,23 +126,81 @@ inline constexpr const char* evalStatusName(EvalStatus s) {
 /// from that evaluation's thread only); the cancel flag may be flipped from
 /// any thread — pool tasks poll it cooperatively so a runaway analysis
 /// degrades to BudgetExhausted instead of hanging a worker.
+///
+/// A wall-clock deadline (core/resilience.hpp composes these into per-job
+/// DeadlineBudgets) may be layered on top via setDeadlineNs(): the budget
+/// then also reads the monotonic clock every `stride` charges — strided so
+/// the nominal path pays one integer decrement per charge, not a clock read
+/// (bench/bench_robustness measures the overhead) — and reports exhaustion
+/// once the deadline has passed.  Unlike the work-unit limit, a deadline
+/// trip point is machine-dependent by nature; exhaustionStatus()
+/// distinguishes the two (DeadlineExpired vs BudgetExhausted) so callers
+/// can keep the deterministic path deterministic and classify the
+/// wall-clock path as transient/retryable.
 class EvalBudget {
  public:
+  /// Clock-read cadence for armed deadlines, in work units.  A Newton
+  /// iteration on the benchmark circuits costs ~1-10 us, so 64 units keeps
+  /// deadline detection latency under a millisecond while amortizing the
+  /// clock read to noise.
+  static constexpr std::uint64_t kDeadlineCheckStride = 64;
+
   /// `limit` = maximum work units (0 = unlimited, cancel-only).
   explicit EvalBudget(std::uint64_t limit = 0,
                       const std::atomic<bool>* externalCancel = nullptr)
       : limit_(limit), externalCancel_(externalCancel) {}
 
-  /// Charge `units` of work.  Returns false once the budget is exhausted or
-  /// cancelled; the caller must then abandon the analysis and report
-  /// EvalStatus::BudgetExhausted.
+  /// Charge `units` of work.  Returns false once the budget is exhausted,
+  /// cancelled, or past its deadline; the caller must then abandon the
+  /// analysis and report exhaustionStatus().
   bool consume(std::uint64_t units = 1) {
     if (cancelled()) return false;
+    if (deadlineNs_ != 0) {
+      if (deadlineExpired_) return false;
+      untilCheck_ = untilCheck_ > units ? untilCheck_ - units : 0;
+      if (untilCheck_ == 0) {
+        untilCheck_ = checkStride_;
+        if (nowNs() >= deadlineNs_) {
+          deadlineExpired_ = true;
+          return false;
+        }
+      }
+    }
     used_ += units;
     return limit_ == 0 || used_ <= limit_;
   }
 
-  bool exhausted() const { return (limit_ != 0 && used_ > limit_) || cancelled(); }
+  bool exhausted() const {
+    return (limit_ != 0 && used_ > limit_) || cancelled() || deadlineExpired_;
+  }
+
+  /// Arm (or clear, absNs = 0) an absolute monotonic-clock deadline.  The
+  /// first consume() after arming always checks the clock, so an
+  /// already-expired deadline fails the very first charge — which is what
+  /// makes deadline tests deterministic.
+  void setDeadlineNs(std::int64_t absNs,
+                     std::uint64_t strideUnits = kDeadlineCheckStride) {
+    deadlineNs_ = absNs;
+    checkStride_ = strideUnits == 0 ? 1 : strideUnits;
+    untilCheck_ = 0;
+    deadlineExpired_ = false;
+  }
+  std::int64_t deadlineNs() const { return deadlineNs_; }
+  bool deadlineExpired() const { return deadlineExpired_; }
+
+  /// Unconditional clock read (stage-boundary checkpoints, where one read
+  /// per stage is noise): latches and returns whether the deadline passed.
+  bool checkDeadline() {
+    if (deadlineNs_ != 0 && !deadlineExpired_ && nowNs() >= deadlineNs_)
+      deadlineExpired_ = true;
+    return deadlineExpired_;
+  }
+
+  /// Which taxonomy code a failed consume() should be reported as.
+  EvalStatus exhaustionStatus() const {
+    return deadlineExpired_ ? EvalStatus::DeadlineExpired
+                            : EvalStatus::BudgetExhausted;
+  }
 
   /// Cooperative cancellation (safe from any thread).
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -89,11 +212,23 @@ class EvalBudget {
   std::uint64_t used() const { return used_; }
   std::uint64_t limit() const { return limit_; }
 
+  /// Monotonic now in ns (steady_clock; shared by every deadline consumer
+  /// so "absolute deadline ns" means one thing across the process).
+  static std::int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
  private:
   std::uint64_t limit_ = 0;
   std::uint64_t used_ = 0;
   std::atomic<bool> cancelled_{false};
   const std::atomic<bool>* externalCancel_ = nullptr;
+  std::int64_t deadlineNs_ = 0;  ///< absolute monotonic ns; 0 = no deadline
+  std::uint64_t checkStride_ = kDeadlineCheckStride;
+  std::uint64_t untilCheck_ = 0;  ///< charges until the next clock read
+  bool deadlineExpired_ = false;
 };
 
 }  // namespace amsyn::core

@@ -30,20 +30,23 @@ const char* stageStatusName(StageStatus s) {
 
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
                                      const circuit::Process& proc,
-                                     const AcTestbench& tb) {
+                                     const AcTestbench& tb, EvalBudget* budget) {
   AMSYN_SPAN("measure");
   sizing::Performance perf;
   try {
     sim::Mna mna(net, proc);
-    const auto op = sim::dcOperatingPoint(mna, sim::flatStart(mna, proc.vdd / 2));
+    sim::DcOptions dopts;
+    dopts.budget = budget;
+    const auto op =
+        sim::dcOperatingPoint(mna, sim::flatStart(mna, proc.vdd / 2), dopts);
     if (!op.converged) {
       sizing::markInfeasible(perf, op.status);  // dc already tallied the failure
       return perf;
     }
     perf["power"] = sim::staticPower(mna, op);
-    const auto sweep =
-        sim::acAnalysis(mna, op, tb.probeNode,
-                        sim::logspace(tb.acStartHz, tb.acStopHz, tb.acPointsPerDecade));
+    const auto sweep = sim::acAnalysis(
+        mna, op, tb.probeNode,
+        sim::logspace(tb.acStartHz, tb.acStopHz, tb.acPointsPerDecade), budget);
     if (sweep.status != EvalStatus::Ok) {
       sizing::markInfeasible(perf, sweep.status);
       return perf;
@@ -59,9 +62,11 @@ sizing::Performance measureAmplifier(const circuit::Netlist& net,
     }
   } catch (...) {
     // A malformed netlist (bad node names from layout annotation, ...) is
-    // verification data, not a crash.
-    sizing::markInfeasible(perf, EvalStatus::InternalError);
-    sim::recordEvalFailure(EvalStatus::InternalError);
+    // verification data, not a crash; bad_alloc is classified apart so the
+    // retry layer never re-runs an allocation failure.
+    const EvalStatus st = classifyCurrentException();
+    sizing::markInfeasible(perf, st);
+    sim::recordEvalFailure(st);
   }
   return perf;
 }

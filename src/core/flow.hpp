@@ -26,6 +26,7 @@
 #include "core/celllayout.hpp"
 #include "core/evalstatus.hpp"
 #include "core/performances.hpp"
+#include "core/resilience.hpp"
 #include "sizing/spec.hpp"
 #include "sizing/synth.hpp"
 #include "topology/library.hpp"
@@ -90,6 +91,21 @@ struct FlowOptions {
   std::uint64_t seed = 1;
   EvalCacheOptions evalCache;
   SolverOption solver = SolverOption::Default;
+  /// Per-job wall-clock deadline in ms (0 = the AMSYN_JOB_DEADLINE_MS env
+  /// var, else none).  The engine checks it at every stage boundary and
+  /// arms it on the verification measurements' budgets, so a livelocked
+  /// evaluation stops at the next strided cancel point.  Expiry is
+  /// *terminal* for the job: the flow returns immediately with
+  /// failureStatus deadline_expired, skipping remaining redesigns.  A
+  /// deadline trips at a machine-dependent point by nature — leave it 0
+  /// where bit-reproducible batches matter.
+  std::uint64_t deadlineMs = 0;
+  /// Per-stage retry policy (default: no retries, exactly the pre-existing
+  /// behavior).  A failed stage whose status the policy classifies as
+  /// transient re-runs — after a deterministic seeded backoff — up to
+  /// maxAttempts total executions; every execution appends its own
+  /// StageRecord and counts into core.flow.retry.*.
+  RetryPolicy stageRetry;
 };
 
 /// Record of one verification: measured performances vs the spec verdict.
@@ -169,10 +185,14 @@ FlowOptions batchItemOptions(const FlowOptions& base, std::size_t index);
 /// Measure an amplifier testbench netlist by simulation (shared by the flow
 /// and the benches): gain_db, ugf, pm, power.  The testbench descriptor
 /// selects the probe node and AC grid; the default reproduces the classic
-/// bench.
+/// bench.  The optional budget is threaded into every analysis (the flow
+/// passes its job's DeadlineBudget so deadline expiry interrupts a
+/// measurement at the next Newton-loop cancel point); a budget-stopped
+/// measurement comes back infeasible with the budget's exhaustionStatus().
 sizing::Performance measureAmplifier(const circuit::Netlist& net,
                                      const circuit::Process& proc,
-                                     const AcTestbench& tb = {});
+                                     const AcTestbench& tb = {},
+                                     EvalBudget* budget = nullptr);
 
 /// Structured JSON run report for a completed flow: outcome, per-stage
 /// verification verdicts and stage records, plus the process-wide

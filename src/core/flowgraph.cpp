@@ -1,12 +1,15 @@
 #include "core/flowgraph.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/evalcache.hpp"
 #include "core/trace.hpp"
 #include "knowledge/opamp_plans.hpp"
+#include "sim/fault.hpp"
 #include "sim/solver.hpp"
 #include "sizing/builders.hpp"
 #include "sizing/eqmodel.hpp"
@@ -44,13 +47,33 @@ std::string withStatusSuffix(std::string reason, EvalStatus st) {
 struct FlowCounters {
   metrics::CounterId attempts;
   metrics::CounterId batchDesigns;
+  metrics::CounterId retryAttempts;    ///< stage re-executions granted
+  metrics::CounterId retrySuccesses;   ///< stages that passed on a re-execution
+  metrics::CounterId retryExhausted;   ///< stages still failed after >=1 retry
+  metrics::CounterId deadlineExpired;  ///< flows terminated by their deadline
 };
 const FlowCounters& flowCounters() {
   static const FlowCounters ids = {
       metrics::Registry::instance().counter("core.flow.attempts"),
       metrics::Registry::instance().counter("core.flow.batch.designs"),
+      metrics::Registry::instance().counter("core.flow.retry.attempts"),
+      metrics::Registry::instance().counter("core.flow.retry.successes"),
+      metrics::Registry::instance().counter("core.flow.retry.exhausted"),
+      metrics::Registry::instance().counter("core.flow.deadline.expired"),
   };
   return ids;
+}
+
+/// Sleep for the retry backoff, never past the job deadline.
+void backoffSleep(std::uint64_t delayMs, const DeadlineBudget& deadline) {
+  if (delayMs == 0) return;
+  if (deadline.armed()) {
+    const std::int64_t leftNs = deadline.deadlineNs() - EvalBudget::nowNs();
+    if (leftNs <= 0) return;
+    delayMs = std::min<std::uint64_t>(
+        delayMs, static_cast<std::uint64_t>(leftNs / 1'000'000) + 1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
 }
 
 }  // namespace
@@ -170,6 +193,22 @@ FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process&
 
   DesignContext ctx(specs, proc, opts);
   ctx.electrical = filterElectrical(specs);
+  DeadlineBudget jobDeadline(0, effectiveDeadlineMs(opts.deadlineMs));
+  ctx.jobBudget = &jobDeadline;
+
+  // Deadline expiry (real or injected by the chaos schedule) is terminal:
+  // the allowance covered the whole job, so neither stage retries nor
+  // redesign attempts may follow it.
+  const auto deadlineHit = [&] {
+    return jobDeadline.expired() ||
+           sim::takeBatchFault(sim::FaultSite::DeadlineCheck);
+  };
+  const auto expireNow = [&](const std::string& where) {
+    metrics::add(flowCounters().deadlineExpired);
+    ctx.result.success = false;
+    ctx.result.failureReason = "job deadline expired at " + where;
+    ctx.result.failureStatus = EvalStatus::DeadlineExpired;
+  };
 
   for (std::size_t attempt = 0; attempt <= opts.maxRedesigns; ++attempt) {
     metrics::add(flowCounters().attempts);
@@ -180,29 +219,54 @@ FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process&
 
     bool attemptFailed = false;
     for (auto& slot : stages_) {
-      metrics::add(slot.runs);
-      const std::uint64_t t0 = trace::monotonicNowNs();
-      StageOutcome outcome;
-      {
-        AMSYN_SPAN(slot.spanName.c_str());
-        outcome = slot.stage->run(ctx);
+      if (deadlineHit()) {
+        expireNow("stage boundary '" + slot.stage->name() + "'");
+        return std::move(ctx.result);
       }
-      StageRecord record;
-      record.name = slot.stage->name();
-      record.attempt = attempt;
-      record.status = outcome.status;
-      record.detail = outcome.detail;
-      record.evalStatus = outcome.evalStatus;
-      record.seconds = static_cast<double>(trace::monotonicNowNs() - t0) * 1e-9;
-      ctx.result.stageRecords.push_back(std::move(record));
+      // Per-stage retry loop: each execution appends its own StageRecord,
+      // so the trail shows exactly what ran and why it ran again.
+      for (std::size_t execution = 1;; ++execution) {
+        metrics::add(slot.runs);
+        const std::uint64_t t0 = trace::monotonicNowNs();
+        StageOutcome outcome;
+        if (sim::takeBatchFault(sim::FaultSite::StageRun)) {
+          outcome = StageOutcome::fail("injected stage fault (chaos schedule)",
+                                       EvalStatus::InternalError);
+        } else {
+          AMSYN_SPAN(slot.spanName.c_str());
+          outcome = slot.stage->run(ctx);
+        }
+        StageRecord record;
+        record.name = slot.stage->name();
+        record.attempt = attempt;
+        record.status = outcome.status;
+        record.detail = outcome.detail;
+        record.evalStatus = outcome.evalStatus;
+        record.seconds = static_cast<double>(trace::monotonicNowNs() - t0) * 1e-9;
+        ctx.result.stageRecords.push_back(std::move(record));
 
-      if (outcome.status == StageStatus::Failed) {
+        if (outcome.status != StageStatus::Failed) {
+          if (execution > 1) metrics::add(flowCounters().retrySuccesses);
+          break;
+        }
         metrics::add(slot.failures);
-        ctx.result.failureReason = outcome.detail;
-        ctx.result.failureStatus = outcome.evalStatus;
-        attemptFailed = true;
-        break;  // redesign with the updated calibration
+        if (outcome.evalStatus == EvalStatus::DeadlineExpired ||
+            jobDeadline.expired()) {
+          expireNow("stage '" + slot.stage->name() + "'");
+          return std::move(ctx.result);
+        }
+        if (!opts.stageRetry.shouldRetry(outcome.evalStatus, execution)) {
+          if (execution > 1) metrics::add(flowCounters().retryExhausted);
+          ctx.result.failureReason = outcome.detail;
+          ctx.result.failureStatus = outcome.evalStatus;
+          attemptFailed = true;
+          break;  // redesign with the updated calibration
+        }
+        metrics::add(flowCounters().retryAttempts);
+        backoffSleep(opts.stageRetry.backoff.delayMs(opts.seed, execution),
+                     jobDeadline);
       }
+      if (attemptFailed) break;
     }
     if (!attemptFailed) {
       ctx.result.success = true;
@@ -284,13 +348,19 @@ StageOutcome BuildStage::run(DesignContext& ctx) {
 }
 
 StageOutcome VerifyStage::run(DesignContext& ctx) {
+  // The verify measurements are the flow's serial simulator work: thread
+  // the job deadline into them and open the solver hooks to the batch
+  // fault schedule (see sim/fault.hpp for why only this window may).
+  EvalBudget* budget = ctx.jobBudget ? &ctx.jobBudget->budget() : nullptr;
+  sim::SolverFaultWindow faultWindow;
   if (phase_ == VerifyPhase::PreLayout) {
     VerificationRecord pre;
     pre.stage = "pre-layout";
     bool any = false;
     circuit::Netlist schematic;
     for (auto& cand : ctx.candidates) {
-      const auto measured = measureAmplifier(cand.netlist, ctx.proc, ctx.opts.testbench);
+      const auto measured =
+          measureAmplifier(cand.netlist, ctx.proc, ctx.opts.testbench, budget);
       const bool passed = !measured.count("_infeasible") &&
                           ctx.electrical.satisfied(measured, kVerifyTolerance);
       // Update the model-calibration terms from this measurement.
@@ -337,7 +407,7 @@ StageOutcome VerifyStage::run(DesignContext& ctx) {
   VerificationRecord post;
   post.stage = "post-layout";
   post.measured = measureAmplifier(ctx.result.cell.annotated, ctx.proc,
-                                   ctx.opts.testbench);
+                                   ctx.opts.testbench, budget);
   post.passed = !post.measured.count("_infeasible") &&
                 ctx.electrical.satisfied(post.measured, kVerifyTolerance);
   if (preRec) {

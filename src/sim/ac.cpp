@@ -35,7 +35,7 @@ const num::LUC& AcSolver::factorAt(double frequency) {
     recordLuReuse();
     return *lu_;
   }
-  if (FaultInjector::instance().armed() && FaultInjector::instance().takeLuFailure())
+  if (FaultInjector::instance().takeLuFailure())
     throw std::runtime_error("injected singular LU");
   const double w = 2.0 * M_PI * frequency;
   num::MatrixC a(n_, n_);
@@ -52,7 +52,7 @@ void AcSolver::sparseFactorAt(double frequency) {
     recordLuReuse();
     return;
   }
-  if (FaultInjector::instance().armed() && FaultInjector::instance().takeLuFailure())
+  if (FaultInjector::instance().takeLuFailure())
     throw std::runtime_error("injected singular LU");
   const double w = 2.0 * M_PI * frequency;
   for (std::size_t k = 0; k < aC_.val.size(); ++k) aC_.val[k] = {gVals_[k], w * cVals_[k]};
@@ -159,7 +159,7 @@ AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& output
   sweep.points.reserve(frequencies.size());
   for (double f : frequencies) {
     if (!consumeWork(budget)) {
-      sweep.status = core::EvalStatus::BudgetExhausted;
+      sweep.status = budgetStopStatus(budget);
       break;
     }
     num::VecC x;

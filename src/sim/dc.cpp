@@ -47,7 +47,7 @@ NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD
                           double sourceScale, double gmin, const DcOptions& opts,
                           std::size_t& iterationsOut) {
   FaultInjector& inj = FaultInjector::instance();
-  if (inj.armed() && inj.takeDcNewtonFailure()) return NewtonOutcome::Singular;
+  if (inj.takeDcNewtonFailure()) return NewtonOutcome::Singular;
 
   const std::size_t n = mna.size();
   num::MatrixD jac;  // sized on first dense assemble; stays empty when sparse
@@ -62,7 +62,7 @@ NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD
     bool haveDx = false;
     if (sparse && !sparse->solver.fellBack()) {
       sparse->sys.assemble(x, aopt, true, &f);
-      if (inj.armed() && inj.takeResidualPoison())
+      if (inj.takeResidualPoison())
         f[0] = std::numeric_limits<double>::quiet_NaN();
       if (!allFinite(f)) return NewtonOutcome::Nan;
       const SparseFactorOutcome fo = sparse->solver.factor(sparse->sys.csc());
@@ -85,7 +85,7 @@ NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD
     }
     if (!haveDx) {
       mna.assemble(x, aopt, &jac, &f);
-      if (inj.armed() && inj.takeResidualPoison())
+      if (inj.takeResidualPoison())
         f[0] = std::numeric_limits<double>::quiet_NaN();
       if (!allFinite(f)) return NewtonOutcome::Nan;
       try {
@@ -121,12 +121,14 @@ NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD
   return NewtonOutcome::NoConvergence;
 }
 
-/// Reason code for a ladder that died with this outcome.
-EvalStatus outcomeStatus(NewtonOutcome o) {
+/// Reason code for a ladder that died with this outcome.  The budget is
+/// consulted to split the two exhaustion flavors (deterministic work units
+/// vs wall-clock deadline) — the deadline flavor is transient/retryable.
+EvalStatus outcomeStatus(NewtonOutcome o, const DcOptions& opts) {
   switch (o) {
     case NewtonOutcome::Singular: return EvalStatus::SingularJacobian;
     case NewtonOutcome::Nan: return EvalStatus::NanDetected;
-    case NewtonOutcome::Budget: return EvalStatus::BudgetExhausted;
+    case NewtonOutcome::Budget: return budgetStopStatus(opts.budget);
     default: return EvalStatus::DcNoConvergence;
   }
 }
@@ -172,7 +174,7 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
     succeed("newton", failureStats().strategyNewton);
     return res;
   }
-  res.status = outcomeStatus(out);  // remember the most recent failure mode
+  res.status = outcomeStatus(out, opts);  // remember the most recent failure mode
   if (out == NewtonOutcome::Budget) {
     recordEvalFailure(res.status);
     return res;  // the ladder shares the budget; nothing left to climb with
@@ -194,7 +196,7 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
       succeed("gmin", failureStats().strategyGmin);
       return res;
     }
-    res.status = outcomeStatus(out);
+    res.status = outcomeStatus(out, opts);
     if (out == NewtonOutcome::Budget) {
       recordEvalFailure(res.status);
       return res;
@@ -217,7 +219,7 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
       succeed("source", failureStats().strategySource);
       return res;
     }
-    res.status = outcomeStatus(out);
+    res.status = outcomeStatus(out, opts);
   }
 
   res.converged = false;
@@ -248,11 +250,11 @@ DcTransferResult dcTransfer(const Mna& mna, const std::string& sourceName, doubl
     src->waveform.v1 = val;
     DcResult r =
         haveWarm ? dcOperatingPoint(localMna, warm, opts) : dcOperatingPoint(localMna, opts);
-    if (r.status == core::EvalStatus::BudgetExhausted) {
-      // The remaining points share the same exhausted budget: stop instead
-      // of charging a failed ladder climb per point.
+    if (core::isWorkExhaustion(r.status)) {
+      // The remaining points share the same exhausted budget/deadline:
+      // stop instead of charging a failed ladder climb per point.
       res.skipped += points - i;
-      res.status = core::EvalStatus::BudgetExhausted;
+      res.status = r.status;
       break;
     }
     if (!r.converged) {

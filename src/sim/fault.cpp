@@ -1,5 +1,10 @@
 #include "sim/fault.hpp"
 
+#include <array>
+#include <atomic>
+
+#include "numeric/rng.hpp"
+
 namespace amsyn::sim {
 
 FaultInjector& FaultInjector::instance() {
@@ -28,15 +33,20 @@ bool take(std::uint64_t& remaining) {
 }  // namespace
 
 bool FaultInjector::takeDcNewtonFailure() {
-  return armed_ && take(plan_.failDcNewtonSolves);
+  // The batch draw runs first so its occurrence counter advances the same
+  // way whether or not a thread-local plan happens to be armed too.
+  const bool batch = takeBatchFault(FaultSite::DcNewton);
+  return batch || (armed_ && take(plan_.failDcNewtonSolves));
 }
 
 bool FaultInjector::takeResidualPoison() {
-  return armed_ && take(plan_.poisonDcResiduals);
+  const bool batch = takeBatchFault(FaultSite::DcResidual);
+  return batch || (armed_ && take(plan_.poisonDcResiduals));
 }
 
 bool FaultInjector::takeLuFailure() {
-  return armed_ && take(plan_.failLuFactorizations);
+  const bool batch = takeBatchFault(FaultSite::LuFactor);
+  return batch || (armed_ && take(plan_.failLuFactorizations));
 }
 
 bool FaultInjector::takeBudgetExhaustion() {
@@ -51,8 +61,102 @@ bool FaultInjector::takeBudgetExhaustion() {
 bool consumeWork(core::EvalBudget* budget, std::uint64_t units) {
   FaultInjector& inj = FaultInjector::instance();
   if (inj.armed() && inj.takeBudgetExhaustion()) return false;
+  if (takeBatchFault(FaultSite::BudgetCharge)) return false;
   if (!budget) return true;
   return budget->consume(units);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-level deterministic fault schedule
+
+namespace {
+
+BatchFaultPlan gBatchPlan;
+std::atomic<bool> gBatchArmed{false};
+
+/// The calling thread's bound job: index + per-site occurrence counters.
+/// Lives on the heap, owned by the innermost BatchFaultScope, so nesting
+/// (a retry loop inside a pool task) restores the outer job exactly.
+struct JobFaultState {
+  std::size_t jobIndex = 0;
+  std::array<std::uint64_t, kFaultSiteCount> occurrences{};
+};
+
+JobFaultState*& tlJobState() {
+  thread_local JobFaultState* state = nullptr;
+  return state;
+}
+
+bool& tlSolverWindow() {
+  thread_local bool open = false;
+  return open;
+}
+
+constexpr bool isSolverSite(FaultSite s) {
+  switch (s) {
+    case FaultSite::DcNewton:
+    case FaultSite::DcResidual:
+    case FaultSite::LuFactor:
+    case FaultSite::BudgetCharge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void armBatchFaults(const BatchFaultPlan& plan) {
+  gBatchPlan = plan;
+  gBatchArmed.store(true, std::memory_order_release);
+}
+
+void disarmBatchFaults() {
+  gBatchArmed.store(false, std::memory_order_release);
+  gBatchPlan = BatchFaultPlan{};
+}
+
+bool batchFaultsArmed() {
+  return gBatchArmed.load(std::memory_order_acquire);
+}
+
+BatchFaultScope::BatchFaultScope(std::size_t jobIndex) {
+  saved_ = tlJobState();
+  tlJobState() = new JobFaultState{jobIndex, {}};
+}
+
+BatchFaultScope::~BatchFaultScope() {
+  delete tlJobState();
+  tlJobState() = static_cast<JobFaultState*>(saved_);
+}
+
+SolverFaultWindow::SolverFaultWindow() : saved_(tlSolverWindow()) {
+  tlSolverWindow() = true;
+}
+
+SolverFaultWindow::~SolverFaultWindow() { tlSolverWindow() = saved_; }
+
+bool takeBatchFault(FaultSite site) {
+  if (!gBatchArmed.load(std::memory_order_acquire)) return false;
+  JobFaultState* state = tlJobState();
+  if (!state) return false;
+  if (isSolverSite(site) && !tlSolverWindow()) return false;
+  // The occurrence counter advances on every consultation — including
+  // zero-rate sites — so the draw sequence is a property of the job's
+  // control flow alone, not of which rates a particular plan enables.
+  const auto siteIx = static_cast<std::size_t>(site);
+  const std::uint64_t occurrence = state->occurrences[siteIx]++;
+  const double rate = gBatchPlan.rates[siteIx];
+  if (rate <= 0.0) return false;
+  // Pure draw over (seed, jobIndex, site, occurrence): two SplitMix64
+  // finalizer passes, the same construction the per-task RNG streams use.
+  const std::uint64_t streamKey = num::Rng::streamSeed(
+      gBatchPlan.seed,
+      (static_cast<std::uint64_t>(state->jobIndex) << 8) |
+          static_cast<std::uint64_t>(siteIx));
+  const std::uint64_t h = num::Rng::streamSeed(streamKey, occurrence);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
 }
 
 }  // namespace amsyn::sim

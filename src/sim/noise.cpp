@@ -48,7 +48,7 @@ NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string&
   NoiseResult res;
   for (double f : frequencies) {
     if (!consumeWork(budget)) {
-      res.status = core::EvalStatus::BudgetExhausted;
+      res.status = budgetStopStatus(budget);
       recordEvalFailure(res.status);
       return res;
     }

@@ -134,8 +134,7 @@ StepOutcome newtonStep(const Mna& mna, SparseNewtonContext* sparse,
         dx = sparse->solver.solve(f);
         haveDx = true;
       } else {
-        if (FaultInjector::instance().armed() &&
-            FaultInjector::instance().takeLuFailure()) {
+        if (FaultInjector::instance().takeLuFailure()) {
           scache.valid = false;
           return StepOutcome::Failed;
         }
@@ -164,8 +163,7 @@ StepOutcome newtonStep(const Mna& mna, SparseNewtonContext* sparse,
         recordLuReuse();
       } else {
         try {
-          if (FaultInjector::instance().armed() &&
-              FaultInjector::instance().takeLuFailure())
+          if (FaultInjector::instance().takeLuFailure())
             throw std::runtime_error("injected singular LU");
           cache.values = jac;
           cache.lu.emplace(std::move(jac));
@@ -247,7 +245,7 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
           newtonStep(mna, sparseCtx.get(), sparseJacCache, xTry, aopt, opts, jacCache);
       if (out == StepOutcome::Budget) {
         res.completed = false;
-        res.status = core::EvalStatus::BudgetExhausted;
+        res.status = budgetStopStatus(opts.budget);
         recordEvalFailure(res.status);
         return res;  // partial waveform up to the last accepted point
       }

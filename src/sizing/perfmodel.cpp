@@ -34,11 +34,14 @@ Performance safeEvaluate(const PerformanceModel& model, const std::vector<double
   } catch (...) {
     // A throwing candidate is infeasible data, not a fatal error: the
     // optimization loop must keep iterating past it (FRIDGE-style robust
-    // cost evaluation).
+    // cost evaluation).  out_of_memory verdicts are environmental, not a
+    // property of the candidate, so they are never cached — the same point
+    // may evaluate fine once the pressure subsides.
+    const EvalStatus st = core::classifyCurrentException();
     perf.clear();
-    markInfeasible(perf, EvalStatus::InternalError);
-    sim::recordEvalFailure(EvalStatus::InternalError);
-    if (key) cache.insert(*key, x, {perf, EvalStatus::InternalError});
+    markInfeasible(perf, st);
+    sim::recordEvalFailure(st);
+    if (key && st != EvalStatus::OutOfMemory) cache.insert(*key, x, {perf, st});
     return perf;
   }
   for (const auto& [name, value] : perf) {

@@ -21,9 +21,10 @@ SimulationModel::SimulationModel(CircuitTemplate tmpl, const circuit::Process& p
 
 std::optional<core::cache::Digest128> SimulationModel::cacheKey(
     const std::vector<double>& x) const {
-  // An external cancel flag can truncate an evaluation at a wall-clock-
-  // dependent point; such payloads are not reproducible, so never cached.
-  if (opts_.cancel) return std::nullopt;
+  // An external cancel flag or wall-clock deadline can truncate an
+  // evaluation at a wall-clock-dependent point; such payloads are not
+  // reproducible, so never cached.
+  if (opts_.cancel || opts_.deadlineNs != 0) return std::nullopt;
   circuit::Netlist net;
   try {
     net = tmpl_.build(x);
@@ -65,8 +66,10 @@ Performance SimulationModel::evaluate(const std::vector<double>& x) const {
   }
 
   // One deterministic work budget funds every analysis of this evaluation
-  // (Newton iterations in DC/transient, solves per AC/noise frequency).
+  // (Newton iterations in DC/transient, solves per AC/noise frequency);
+  // the job deadline, when armed, rides on the same budget.
   core::EvalBudget budget(opts_.workBudget, opts_.cancel);
+  if (opts_.deadlineNs != 0) budget.setDeadlineNs(opts_.deadlineNs);
 
   try {
     sim::Mna mna(net, proc_);
@@ -142,7 +145,7 @@ Performance SimulationModel::evaluate(const std::vector<double>& x) const {
         vin->waveform.period = 2.0;
         sim::Mna tmna(tnet, proc_);
         const auto top = sim::dcOperatingPoint(tmna, dopts);
-        if (top.status == EvalStatus::BudgetExhausted) {
+        if (core::isWorkExhaustion(top.status)) {
           markInfeasible(perf, top.status);
           return perf;
         }
@@ -152,7 +155,7 @@ Performance SimulationModel::evaluate(const std::vector<double>& x) const {
           topts.tStep = 2e-9;
           topts.budget = &budget;
           const auto tr = sim::transientAnalysis(tmna, top, topts);
-          if (tr.status == EvalStatus::BudgetExhausted) {
+          if (core::isWorkExhaustion(tr.status)) {
             // A runaway transient degrades to budget_exhausted, keeping the
             // DC/AC measurements already made as partial results.
             markInfeasible(perf, tr.status);
@@ -174,9 +177,11 @@ Performance SimulationModel::evaluate(const std::vector<double>& x) const {
     }
   } catch (...) {
     // Anything the analyses threw (bad node names from a malformed template,
-    // allocation failure, ...) is contained at this boundary.
-    markInfeasible(perf, EvalStatus::InternalError);
-    sim::recordEvalFailure(EvalStatus::InternalError);
+    // allocation failure, ...) is contained at this boundary; bad_alloc is
+    // classified apart so OOM is never misfiled as retryable.
+    const EvalStatus st = core::classifyCurrentException();
+    markInfeasible(perf, st);
+    sim::recordEvalFailure(st);
   }
 
   return perf;

@@ -36,6 +36,13 @@ struct SimModelOptions {
   /// Optional cooperative cancel flag shared by every evaluation (e.g. a
   /// whole-run abort).  Checked at the same points as the budget.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional absolute wall-clock deadline (monotonic ns per
+  /// core::EvalBudget::nowNs(); 0 = none) armed on every evaluation's
+  /// budget.  An evaluation past the deadline stops at the next strided
+  /// cancel point and reports deadline_expired.  Wall-clock truncation is
+  /// not reproducible, so a deadline — like `cancel` — makes evaluations
+  /// uncacheable (cacheKey returns nullopt).
+  std::int64_t deadlineNs = 0;
 };
 
 /// Generic netlist-producing template: design vector -> testbench netlist.

@@ -78,7 +78,9 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
     for (std::size_t i = 0; i < errs.size(); ++i) {
       if (!errs[i]) continue;
       batch[first + i].fitness = -std::numeric_limits<double>::infinity();
-      sim::recordEvalFailure(core::EvalStatus::InternalError);
+      // bad_alloc classifies as out_of_memory (never retried upstream),
+      // anything else internal_error.
+      sim::recordEvalFailure(core::classifyException(errs[i]));
     }
     result.evaluations += batch.size() - first;
     static const auto cEvals =
