@@ -15,11 +15,15 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "core/runreport.hpp"
 #include "knowledge/opamp_plans.hpp"
 #include "sizing/eqmodel.hpp"
 #include "sizing/relaxed.hpp"
 #include "sizing/simmodel.hpp"
 #include "sizing/synth.hpp"
+#include "topology/genetic.hpp"
+#include "topology/library.hpp"
+#include "topology/select.hpp"
 
 namespace {
 using namespace amsyn;
@@ -170,6 +174,92 @@ void printComparison() {
                "trajectory section 2.2 describes.\n\n";
 }
 
+/// Candidate-space scaling: selection cost over the hand-written 2-entry
+/// library vs the generated composition space (topology/compose.hpp), with
+/// the numbers behind the table exported to BENCH_fig1_approaches.json so
+/// trend tracking catches both a shrinking space (lost compositions) and a
+/// selection-time regression.
+void printGeneratedSpace() {
+  const auto& proc = circuit::defaultProcess();
+  const double loadCap = 5e-12;
+  const auto specs = specSetFor(kGrid[2]);  // 70 dB / 3 MHz: mid-grid point
+
+  const auto tLegacy0 = Clock::now();
+  const auto legacy = topology::amplifierLibrary(proc, loadCap, topology::TopologySpace::Legacy);
+  const double legacyBuildS =
+      std::chrono::duration<double>(Clock::now() - tLegacy0).count();
+
+  // First build pays bounds sampling over every composed structure; the
+  // second hits the (process, loadCap) memo — both are worth watching.
+  const auto tGen0 = Clock::now();
+  const auto gen =
+      topology::amplifierLibrary(proc, loadCap, topology::TopologySpace::Generated);
+  const double genBuildS = std::chrono::duration<double>(Clock::now() - tGen0).count();
+  const auto tGen1 = Clock::now();
+  const auto genAgain =
+      topology::amplifierLibrary(proc, loadCap, topology::TopologySpace::Generated);
+  const double genMemoS = std::chrono::duration<double>(Clock::now() - tGen1).count();
+  benchmark::DoNotOptimize(genAgain.size());
+
+  struct Timing {
+    double intervalS = 0, ruleS = 0, geneticS = 0;
+    std::string geneticWinner;
+  };
+  auto timeSelection = [&](const topology::TopologyLibrary& lib) {
+    Timing tm;
+    const auto t0 = Clock::now();
+    const auto iv = topology::intervalSelect(lib, specs);
+    tm.intervalS = std::chrono::duration<double>(Clock::now() - t0).count();
+    benchmark::DoNotOptimize(iv.size());
+    const auto t1 = Clock::now();
+    const auto rb = topology::ruleBasedSelect(lib, specs);
+    tm.ruleS = std::chrono::duration<double>(Clock::now() - t1).count();
+    benchmark::DoNotOptimize(rb.size());
+    topology::GeneticOptions gopts;
+    gopts.seed = 5;
+    gopts.populationSize = 24;
+    gopts.generations = 20;
+    const auto t2 = Clock::now();
+    const auto gres = topology::geneticSelectAndSize(lib, specs, gopts);
+    tm.geneticS = std::chrono::duration<double>(Clock::now() - t2).count();
+    tm.geneticWinner = gres.topology;
+    return tm;
+  };
+  const Timing lt = timeSelection(legacy);
+  const Timing gt = timeSelection(gen);
+
+  std::cout << "=== Candidate space: hand-written menu vs generated composition ===\n\n";
+  core::Table t({"space", "entries", "build (ms)", "interval (us)", "rules (us)",
+                 "genetic (ms)"});
+  t.addRow({"legacy menu", std::to_string(legacy.size()), core::Table::num(legacyBuildS * 1e3),
+            core::Table::num(lt.intervalS * 1e6), core::Table::num(lt.ruleS * 1e6),
+            core::Table::num(lt.geneticS * 1e3)});
+  t.addRow({"generated (blocks)", std::to_string(gen.size()), core::Table::num(genBuildS * 1e3),
+            core::Table::num(gt.intervalS * 1e6), core::Table::num(gt.ruleS * 1e6),
+            core::Table::num(gt.geneticS * 1e3)});
+  t.print(std::cout);
+  std::cout << "memoized rebuild: " << core::Table::num(genMemoS * 1e3)
+            << " ms; genetic winners: legacy=" << lt.geneticWinner
+            << ", generated=" << gt.geneticWinner << "\n\n";
+
+  core::RunReport report;
+  report.name = "fig1_approaches";
+  report.addInfo("benchmark", "fig1_approaches");
+  report.addValue("legacy_space_size", static_cast<double>(legacy.size()))
+      .addValue("candidate_space_size", static_cast<double>(gen.size()))
+      .addValue("generated_build_seconds", genBuildS)
+      .addValue("generated_memo_rebuild_seconds", genMemoS)
+      .addValue("legacy_interval_select_seconds", lt.intervalS)
+      .addValue("legacy_rule_select_seconds", lt.ruleS)
+      .addValue("legacy_genetic_seconds", lt.geneticS)
+      .addValue("generated_interval_select_seconds", gt.intervalS)
+      .addValue("generated_rule_select_seconds", gt.ruleS)
+      .addValue("generated_genetic_seconds", gt.geneticS);
+  report.write("BENCH_fig1_approaches.json");
+  std::cout << "wrote BENCH_fig1_approaches.json: " << gen.size()
+            << " generated candidates vs " << legacy.size() << " hand-written\n\n";
+}
+
 void BM_PlanExecution(benchmark::State& state) {
   const auto& proc = circuit::defaultProcess();
   const auto plan = knowledge::twoStageOpampPlan();
@@ -201,6 +291,7 @@ BENCHMARK(BM_EquationSynthesis)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   printComparison();
+  printGeneratedSpace();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

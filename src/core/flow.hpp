@@ -89,6 +89,13 @@ struct FlowOptions {
   /// pre- and post-layout verify stages.
   AcTestbench testbench;
   std::uint64_t seed = 1;
+  /// Candidate space the topology-select stage ranks: the legacy
+  /// hand-written pair, the generated functional-block composition space
+  /// (topology/compose.hpp), or Default = the AMSYN_TOPOLOGY_SPACE env
+  /// choice (unset -> Legacy).  Both spaces contain the legacy cells with
+  /// bit-identical models, so flows whose specs the legacy cells win are
+  /// identical across spaces.
+  topology::TopologySpace topologySpace = topology::TopologySpace::Default;
   EvalCacheOptions evalCache;
   SolverOption solver = SolverOption::Default;
   /// Per-job wall-clock deadline in ms (0 = the AMSYN_JOB_DEADLINE_MS env

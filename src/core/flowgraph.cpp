@@ -282,11 +282,13 @@ FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process&
 // Concrete stages
 
 StageOutcome TopologySelectStage::run(DesignContext& ctx) {
-  if (!library_ || libraryProc_ != &ctx.proc || libraryLoadCap_ != ctx.opts.loadCap) {
+  if (!library_ || libraryProc_ != &ctx.proc || libraryLoadCap_ != ctx.opts.loadCap ||
+      librarySpace_ != ctx.opts.topologySpace) {
     library_ = std::make_unique<topology::TopologyLibrary>(
-        topology::amplifierLibrary(ctx.proc, ctx.opts.loadCap));
+        topology::amplifierLibrary(ctx.proc, ctx.opts.loadCap, ctx.opts.topologySpace));
     libraryProc_ = &ctx.proc;
     libraryLoadCap_ = ctx.opts.loadCap;
+    librarySpace_ = ctx.opts.topologySpace;
   }
 
   sizing::SynthesisOptions sopts = ctx.opts.synthesis;

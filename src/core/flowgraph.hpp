@@ -223,6 +223,7 @@ class TopologySelectStage : public FlowStage {
   std::unique_ptr<topology::TopologyLibrary> library_;  ///< cached per run
   const circuit::Process* libraryProc_ = nullptr;
   double libraryLoadCap_ = 0.0;
+  topology::TopologySpace librarySpace_ = topology::TopologySpace::Default;
 };
 
 /// Knowledge-based candidate provider: maps the retargeted bounds onto the

@@ -6,17 +6,17 @@ using circuit::MosType;
 using circuit::Netlist;
 using circuit::Process;
 
-namespace {
+double opampCapArea(double farads) { return farads / 1e-3; }
 
-/// Capacitor area estimate at ~1 fF/um^2 (m^2 per farad).
-double capArea(double farads) { return farads / 1e-3; }
-
-void addBiasAndSupplies(Netlist& net, const Process& proc, double ibias) {
+void addOpampSupplies(Netlist& net, const Process& proc, double ibias, bool pmosDiode) {
   net.addVSource("VDD", "vdd", "0", proc.vdd);
-  net.addISource("IBIAS", "vdd", "nbias", ibias);
+  if (pmosDiode)
+    net.addISource("IBIAS", "nbias", "0", ibias);
+  else
+    net.addISource("IBIAS", "vdd", "nbias", ibias);
 }
 
-void addTestbench(Netlist& net, const OpampTestbench& tb) {
+void addOpampTestbench(Netlist& net, const OpampTestbench& tb) {
   net.addVSource("VINP", "inp", "0", tb.vicm, 1.0);  // AC stimulus
   if (tb.dcFeedback) {
     // DC feedback through a huge RC pins the operating point while staying
@@ -35,18 +35,16 @@ void addTestbench(Netlist& net, const OpampTestbench& tb) {
   net.addCapacitor("CL", "out", "0", tb.loadCap);
 }
 
-}  // namespace
-
 double TwoStageParams::activeArea(const circuit::Process& proc) const {
   (void)proc;
   const double gates = 2 * w1 * l + 2 * w3 * l + w5 * l + w6 * l + w7 * l + w8 * l;
-  return gates + capArea(cc);
+  return gates + opampCapArea(cc);
 }
 
 Netlist buildTwoStageOpamp(const TwoStageParams& p, const Process& proc,
                            const OpampTestbench& tb) {
   Netlist net;
-  addBiasAndSupplies(net, proc, p.ibias);
+  addOpampSupplies(net, proc, p.ibias);
 
   // First stage: NMOS differential pair with PMOS mirror load.
   net.addMos("M1", "n1", "inp", "tail", "0", MosType::Nmos, p.w1, p.l);
@@ -65,7 +63,7 @@ Netlist buildTwoStageOpamp(const TwoStageParams& p, const Process& proc,
   // Miller compensation.
   net.addCapacitor("CC", "no1", "out", p.cc);
 
-  addTestbench(net, tb);
+  addOpampTestbench(net, tb);
   return net;
 }
 
@@ -76,7 +74,7 @@ double OtaParams::activeArea(const circuit::Process& proc) const {
 
 Netlist buildOta(const OtaParams& p, const Process& proc, const OpampTestbench& tb) {
   Netlist net;
-  addBiasAndSupplies(net, proc, p.ibias);
+  addOpampSupplies(net, proc, p.ibias);
 
   net.addMos("M1", "n1", "inp", "tail", "0", MosType::Nmos, p.w1, p.l);
   net.addMos("M2", "out", "inn", "tail", "0", MosType::Nmos, p.w1, p.l);
@@ -85,7 +83,7 @@ Netlist buildOta(const OtaParams& p, const Process& proc, const OpampTestbench& 
   net.addMos("M5", "tail", "nbias", "0", "0", MosType::Nmos, p.w5, p.l);
   net.addMos("M8", "nbias", "nbias", "0", "0", MosType::Nmos, p.w8, p.l);
 
-  addTestbench(net, tb);
+  addOpampTestbench(net, tb);
   return net;
 }
 

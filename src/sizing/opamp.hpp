@@ -61,4 +61,24 @@ struct OtaParams {
 circuit::Netlist buildOta(const OtaParams& p, const circuit::Process& proc,
                           const OpampTestbench& tb = {});
 
+// --- shared sub-netlists ---------------------------------------------------
+// The composed-topology builders (topology/compose.hpp) stitch the same
+// supply, bias and testbench fixtures around generated cores; sharing the
+// device sequences keeps a composed legacy cell byte-identical to the
+// hand-written builders above.
+
+/// VDD supply plus the bias reference pushing `ibias` into "nbias" (the
+/// NMOS bias-diode rail).  `pmosDiode` flips the reference for a PMOS bias
+/// diode hanging from vdd: the source then pulls `ibias` out of "nbias".
+void addOpampSupplies(circuit::Netlist& net, const circuit::Process& proc, double ibias,
+                      bool pmosDiode = false);
+
+/// The open-loop AC bench: AC stimulus on "inp", DC feedback (or a fixed
+/// "inn" drive), and the load capacitor on "out".
+void addOpampTestbench(circuit::Netlist& net, const OpampTestbench& tb);
+
+/// Capacitor area estimate at ~1 fF/um^2 (m^2 per farad) — the same figure
+/// TwoStageParams::activeArea folds in for Cc.
+double opampCapArea(double farads);
+
 }  // namespace amsyn::sizing

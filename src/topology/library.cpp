@@ -1,9 +1,11 @@
 #include "topology/library.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sizing/eqmodel.hpp"
+#include "topology/compose.hpp"
 
 namespace amsyn::topology {
 
@@ -11,12 +13,22 @@ using num::Interval;
 using sizing::SpecKind;
 using sizing::SpecSet;
 
-void TopologyLibrary::add(TopologyEntry entry) { entries_.push_back(std::move(entry)); }
+void TopologyLibrary::add(TopologyEntry entry) {
+  if (!index_.emplace(entry.name, entries_.size()).second)
+    throw std::invalid_argument("TopologyLibrary: duplicate topology name '" + entry.name +
+                                "'");
+  entries_.push_back(std::move(entry));
+}
 
 const TopologyEntry& TopologyLibrary::byName(const std::string& name) const {
-  for (const auto& e : entries_)
-    if (e.name == name) return e;
-  throw std::out_of_range("TopologyLibrary: no topology named " + name);
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    std::string msg = "TopologyLibrary: no topology named '" + name + "'; available (" +
+                      std::to_string(entries_.size()) + "):";
+    for (const auto& [n, _] : index_) msg += " " + n;
+    throw std::out_of_range(msg);
+  }
+  return entries_[it->second];
 }
 
 FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
@@ -24,7 +36,6 @@ FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
   const auto& vars = model.variables();
   const std::size_t n = vars.size();
   FeasibilityBounds bounds;
-  bool first = true;
 
   // Walk the full grid with a mixed-radix counter.
   std::vector<std::size_t> idx(n, 0);
@@ -41,13 +52,10 @@ FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
     const auto perf = model.evaluate(x);
     for (const auto& [k, val] : perf) {
       if (k.rfind('_', 0) == 0) continue;  // skip meta performances
-      if (first || !bounds.count(k)) {
-        if (!bounds.count(k)) bounds.emplace(k, Interval{val, val});
-      }
-      auto& b = bounds.at(k);
-      b = Interval{std::min(b.lo(), val), std::max(b.hi(), val)};
+      auto [it, inserted] = bounds.emplace(k, Interval{val, val});
+      if (!inserted)
+        it->second = Interval{std::min(it->second.lo(), val), std::max(it->second.hi(), val)};
     }
-    first = false;
 
     std::size_t d = 0;
     while (d < n && ++idx[d] == gridPerAxis) idx[d++] = 0;
@@ -55,14 +63,99 @@ FeasibilityBounds boundsBySampling(const sizing::PerformanceModel& model,
   }
 
   // Widen conservatively: grid sampling underestimates the reachable hull.
+  // A strictly positive hull (power, ugf, area, noise — quantities that are
+  // positive by construction) widens in the log domain, so the lower bound
+  // scales down but can never cross zero.  Everything else widens linearly
+  // about the midpoint; when the sampled hull itself never went negative
+  // (swing's max(0, .) floor, say), the widened lower bound is clamped at
+  // zero — the model cannot produce what the bound would otherwise promise.
   for (auto& [k, b] : bounds) {
-    const double mid = b.mid(), half = b.width() / 2.0;
-    b = Interval{mid - half * widen, mid + half * widen};
+    if (b.lo() > 0.0) {
+      const double mid = std::sqrt(b.lo() * b.hi());
+      const double r = std::pow(std::sqrt(b.hi() / b.lo()), widen);
+      b = Interval{mid / r, mid * r};
+    } else {
+      const double mid = b.mid(), half = b.width() / 2.0;
+      double lo = mid - half * widen;
+      if (b.lo() >= 0.0 && lo < 0.0) lo = 0.0;
+      b = Interval{lo, mid + half * widen};
+    }
   }
   return bounds;
 }
 
-TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap) {
+std::vector<HeuristicRule> legacyOtaRules() {
+  std::vector<HeuristicRule> rules;
+  rules.push_back({"single stage suffices for moderate gain",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "gain_db" && s.kind == SpecKind::GreaterEqual)
+                         score += s.bound <= 45.0 ? 2.0 : -3.0;
+                     return score;
+                   }});
+  rules.push_back({"no compensation: better for high speed",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "ugf" && s.kind == SpecKind::GreaterEqual)
+                         score += s.bound >= 2e7 ? 1.0 : 0.0;
+                     return score;
+                   }});
+  rules.push_back({"one current branch: favored for low power",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "power" &&
+                           (s.kind == SpecKind::Minimize || s.kind == SpecKind::LessEqual))
+                         score += 1.0;
+                     return score;
+                   }});
+  return rules;
+}
+
+std::vector<HeuristicRule> legacyTwoStageRules() {
+  std::vector<HeuristicRule> rules;
+  rules.push_back({"two gain stages needed above ~45 dB",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "gain_db" && s.kind == SpecKind::GreaterEqual)
+                         score += s.bound > 45.0 ? 3.0 : -1.0;
+                     return score;
+                   }});
+  rules.push_back({"output stage gives rail-to-rail-ish swing",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "swing" && s.kind == SpecKind::GreaterEqual)
+                         score += s.bound >= 3.0 ? 1.5 : 0.0;
+                     return score;
+                   }});
+  rules.push_back({"second branch costs power",
+                   [](const SpecSet& specs) {
+                     double score = 0.0;
+                     for (const auto& s : specs.specs())
+                       if (s.performance == "power" && s.kind == SpecKind::Minimize)
+                         score += -0.5;
+                     return score;
+                   }});
+  return rules;
+}
+
+TopologySpace defaultTopologySpace() {
+  if (const char* env = std::getenv("AMSYN_TOPOLOGY_SPACE")) {
+    const std::string v(env);
+    if (v == "generated" || v == "composed") return TopologySpace::Generated;
+  }
+  return TopologySpace::Legacy;
+}
+
+TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap,
+                                 TopologySpace space) {
+  if (space == TopologySpace::Default) space = defaultTopologySpace();
+  if (space == TopologySpace::Generated) return generatedAmplifierLibrary(proc, loadCap);
+
   TopologyLibrary lib;
 
   {
@@ -71,30 +164,7 @@ TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap) {
     ota.model = std::make_shared<sizing::OtaEquationModel>(proc, loadCap);
     ota.bounds = boundsBySampling(*ota.model, 5);
     ota.complexity = 6;
-    ota.rules.push_back({"single stage suffices for moderate gain",
-                         [](const SpecSet& specs) {
-                           for (const auto& s : specs.specs())
-                             if (s.performance == "gain_db" &&
-                                 s.kind == SpecKind::GreaterEqual)
-                               return s.bound <= 45.0 ? 2.0 : -3.0;
-                           return 0.0;
-                         }});
-    ota.rules.push_back({"no compensation: better for high speed",
-                         [](const SpecSet& specs) {
-                           for (const auto& s : specs.specs())
-                             if (s.performance == "ugf" && s.kind == SpecKind::GreaterEqual)
-                               return s.bound >= 2e7 ? 1.0 : 0.0;
-                           return 0.0;
-                         }});
-    ota.rules.push_back({"one current branch: favored for low power",
-                         [](const SpecSet& specs) {
-                           for (const auto& s : specs.specs())
-                             if (s.performance == "power" &&
-                                 (s.kind == SpecKind::Minimize ||
-                                  s.kind == SpecKind::LessEqual))
-                               return 1.0;
-                           return 0.0;
-                         }});
+    ota.rules = legacyOtaRules();
     lib.add(std::move(ota));
   }
 
@@ -104,28 +174,7 @@ TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap) {
     ts.model = std::make_shared<sizing::TwoStageEquationModel>(proc, loadCap);
     ts.bounds = boundsBySampling(*ts.model, 4);
     ts.complexity = 9;
-    ts.rules.push_back({"two gain stages needed above ~45 dB",
-                        [](const SpecSet& specs) {
-                          for (const auto& s : specs.specs())
-                            if (s.performance == "gain_db" &&
-                                s.kind == SpecKind::GreaterEqual)
-                              return s.bound > 45.0 ? 3.0 : -1.0;
-                          return 0.0;
-                        }});
-    ts.rules.push_back({"output stage gives rail-to-rail-ish swing",
-                        [](const SpecSet& specs) {
-                          for (const auto& s : specs.specs())
-                            if (s.performance == "swing" && s.kind == SpecKind::GreaterEqual)
-                              return s.bound >= 3.0 ? 1.5 : 0.0;
-                          return 0.0;
-                        }});
-    ts.rules.push_back({"second branch costs power",
-                        [](const SpecSet& specs) {
-                          for (const auto& s : specs.specs())
-                            if (s.performance == "power" && s.kind == SpecKind::Minimize)
-                              return -0.5;
-                          return 0.0;
-                        }});
+    ts.rules = legacyTwoStageRules();
     lib.add(std::move(ts));
   }
 

@@ -42,19 +42,48 @@ struct TopologyEntry {
 
 class TopologyLibrary {
  public:
+  /// Append an entry.  Names are the library's keys (selection results,
+  /// builder-registry lookups, cache identities all ride on them), so a
+  /// duplicate name is a construction bug: throws std::invalid_argument.
   void add(TopologyEntry entry);
   const std::vector<TopologyEntry>& entries() const { return entries_; }
+  /// Entry by name, O(log n).  Throws std::out_of_range listing the
+  /// available names when absent — with a generated space of dozens of
+  /// entries, "no topology named X" alone buries the actual menu.
   const TopologyEntry& byName(const std::string& name) const;
   std::size_t size() const { return entries_.size(); }
 
  private:
   std::vector<TopologyEntry> entries_;
+  std::map<std::string, std::size_t> index_;  ///< name -> entries_ position
 };
 
-/// The built-in amplifier library: five-transistor OTA and two-stage Miller
-/// opamp, with interval bounds derived from their equation models over the
-/// full design-variable box.
-TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap);
+/// Which candidate space amplifierLibrary returns.
+enum class TopologySpace : std::uint8_t {
+  Default,    ///< defaultTopologySpace(): the AMSYN_TOPOLOGY_SPACE env choice
+  Legacy,     ///< the two hand-written cells only
+  Generated,  ///< the composed functional-block space (topology/compose.hpp)
+};
+
+/// Process-wide default space: AMSYN_TOPOLOGY_SPACE=generated selects the
+/// composed space, anything else (or unset) the legacy pair.
+TopologySpace defaultTopologySpace();
+
+/// The amplifier candidate library.  Legacy: five-transistor OTA and
+/// two-stage Miller opamp with interval bounds derived from their equation
+/// models over the full design-variable box.  Generated: the functional-
+/// block composition space (dozens of electrically valid op-amp structures,
+/// including both legacy cells reproduced bit-identically as composition
+/// instances — see topology/compose.hpp).
+TopologyLibrary amplifierLibrary(const circuit::Process& proc, double loadCap,
+                                 TopologySpace space = TopologySpace::Default);
+
+/// Heuristic rule sets of the hand-written cells, shared with the generated
+/// space (which reproduces those cells as composition instances and must
+/// score them identically).  Every rule aggregates over *all* matching
+/// specs — a SpecSet may carry several bounds on one performance.
+std::vector<HeuristicRule> legacyOtaRules();
+std::vector<HeuristicRule> legacyTwoStageRules();
 
 /// Interval evaluation of an equation model: bound each performance over the
 /// design box by sampling a coarse grid and taking the hull, widened by a

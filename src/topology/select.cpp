@@ -98,7 +98,8 @@ std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
 }
 
 SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
-                                  const sizing::SynthesisOptions& opts) {
+                                  const sizing::SynthesisOptions& opts,
+                                  std::size_t maxSizingCandidates) {
   AMSYN_SPAN("select_and_size");
   SelectAndSizeResult result;
 
@@ -121,7 +122,9 @@ SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::Spec
   });
   result.consideredOrder = order;
 
+  std::size_t sized = 0;
   for (const auto& c : order) {
+    if (maxSizingCandidates != 0 && sized++ >= maxSizingCandidates) break;
     const auto& entry = lib.byName(c.name);
     const auto res = sizing::synthesize(*entry.model, specs, opts);
     if (res.feasible) {

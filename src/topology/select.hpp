@@ -36,7 +36,12 @@ std::vector<Candidate> intervalSelect(const TopologyLibrary& lib,
 
 /// Full front-to-back selection + sizing (the AMGIE flow): interval-filter,
 /// order by rules, then run optimization-based sizing on candidates in order
-/// until one meets the specs.
+/// until one meets the specs.  `maxSizingCandidates` bounds how many ranked
+/// candidates get a (costly) sizing run — with the generated space's dozens
+/// of entries, sizing every interval-feasible candidate on a hopeless spec
+/// set would multiply the flow's redesign cost by the space size.  0 means
+/// unlimited; the default covers the legacy library several times over, so
+/// legacy-space behavior is unchanged.
 struct SelectAndSizeResult {
   bool success = false;
   std::string topology;
@@ -44,6 +49,7 @@ struct SelectAndSizeResult {
   std::vector<Candidate> consideredOrder;
 };
 SelectAndSizeResult selectAndSize(const TopologyLibrary& lib, const sizing::SpecSet& specs,
-                                  const sizing::SynthesisOptions& opts = {});
+                                  const sizing::SynthesisOptions& opts = {},
+                                  std::size_t maxSizingCandidates = 8);
 
 }  // namespace amsyn::topology

@@ -1,0 +1,517 @@
+// Property + differential suite for the generated topology space
+// (topology/blocks.hpp, topology/compose.hpp):
+//   * the composed space is large enough, valid, uniquely named, and fully
+//     backed by registered netlist builders and derived bounds;
+//   * the two legacy cells are reproduced as composition instances with
+//     *bit-identical* models and netlists (differential against the
+//     hand-written OtaEquationModel / TwoStageEquationModel and
+//     buildOta / buildTwoStageOpamp);
+//   * every generated topology builds a sane netlist whose canonical digest
+//     is stable under declaration shuffles and across rebuilds;
+//   * selection over the space — boundary, rule-based, and genetic — is
+//     bit-identical across thread counts and eval-cache states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "circuit/canonical.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+#include "core/evalcache.hpp"
+#include "core/parallel.hpp"
+#include "knowledge/opamp_plans.hpp"
+#include "numeric/rng.hpp"
+#include "sizing/builders.hpp"
+#include "sizing/eqmodel.hpp"
+#include "sizing/opamp.hpp"
+#include "topology/blocks.hpp"
+#include "topology/compose.hpp"
+#include "topology/genetic.hpp"
+#include "topology/library.hpp"
+#include "topology/select.hpp"
+
+namespace tp = amsyn::topology;
+namespace sz = amsyn::sizing;
+namespace ckt = amsyn::circuit;
+namespace core = amsyn::core;
+namespace cache = amsyn::core::cache;
+namespace num = amsyn::num;
+namespace kn = amsyn::knowledge;
+
+namespace {
+
+constexpr double kLoadCap = 5e-12;
+
+const ckt::Process& proc() { return ckt::defaultProcess(); }
+
+const tp::TopologyLibrary& genLib() {
+  static const tp::TopologyLibrary l =
+      tp::amplifierLibrary(proc(), kLoadCap, tp::TopologySpace::Generated);
+  return l;
+}
+
+/// Bitwise double equality (the differential tests' currency).
+::testing::AssertionResult bitEq(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof a) == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bitwise; delta " << a - b << ")";
+}
+
+/// Deterministic sample points over a model's box (seeded, log-aware).
+std::vector<std::vector<double>> samplePoints(const sz::PerformanceModel& m,
+                                              std::size_t count, std::uint64_t seed) {
+  num::Rng rng(seed);
+  const auto& vars = m.variables();
+  std::vector<std::vector<double>> pts;
+  pts.push_back(m.initialPoint());
+  for (std::size_t p = 0; p + 1 < count; ++p) {
+    std::vector<double> x(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const double u = rng.uniform();
+      const auto& v = vars[i];
+      x[i] = (v.logScale && v.lo > 0) ? v.lo * std::pow(v.hi / v.lo, u)
+                                      : v.lo + u * (v.hi - v.lo);
+    }
+    pts.push_back(std::move(x));
+  }
+  return pts;
+}
+
+void expectSameDevices(const ckt::Netlist& a, const ckt::Netlist& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.devices().size(), b.devices().size()) << label;
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    const auto& da = a.devices()[i];
+    const auto& db = b.devices()[i];
+    EXPECT_EQ(da.name, db.name) << label << " device " << i;
+    EXPECT_EQ(da.type, db.type) << label << " " << da.name;
+    ASSERT_EQ(da.nodes.size(), db.nodes.size()) << label << " " << da.name;
+    for (std::size_t n = 0; n < da.nodes.size(); ++n)
+      EXPECT_EQ(a.nodeName(da.nodes[n]), b.nodeName(db.nodes[n]))
+          << label << " " << da.name << " terminal " << n;
+    EXPECT_TRUE(bitEq(da.value, db.value)) << label << " " << da.name;
+    EXPECT_TRUE(bitEq(da.acMag, db.acMag)) << label << " " << da.name;
+    if (da.type == ckt::DeviceType::Mos) {
+      EXPECT_EQ(da.mos.type, db.mos.type) << label << " " << da.name;
+      EXPECT_TRUE(bitEq(da.mos.w, db.mos.w)) << label << " " << da.name;
+      EXPECT_TRUE(bitEq(da.mos.l, db.mos.l)) << label << " " << da.name;
+    }
+  }
+  EXPECT_EQ(ckt::canonicalNetlistDigest(a), ckt::canonicalNetlistDigest(b)) << label;
+}
+
+/// RAII eval-cache configuration guard (pattern from evalcache_test).
+struct CacheGuard {
+  CacheGuard()
+      : c(cache::EvalCache::instance()),
+        enabled(c.enabled()),
+        capacity(c.capacity()),
+        quantum(c.quantum()) {}
+  ~CacheGuard() {
+    c.setEnabled(enabled);
+    c.setCapacity(capacity);
+    c.setQuantum(quantum);
+    c.clear();
+  }
+  cache::EvalCache& c;
+  bool enabled;
+  std::size_t capacity;
+  double quantum;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Space shape
+
+TEST(ComposedSpace, EnumerationIsLargeValidAndUniquelyNamed) {
+  const auto structs = tp::enumerateOpampStructures();
+  EXPECT_GE(structs.size(), 50u);
+  std::set<std::string> names;
+  std::size_t legacy = 0;
+  for (const auto& s : structs) {
+    std::string why;
+    EXPECT_TRUE(s.valid(&why)) << s.name() << ": " << why;
+    EXPECT_TRUE(names.insert(s.name()).second) << "duplicate name " << s.name();
+    if (s.isLegacyOta() || s.isLegacyTwoStage()) ++legacy;
+  }
+  EXPECT_EQ(legacy, 2u);
+  EXPECT_TRUE(names.count("five-transistor-ota"));
+  EXPECT_TRUE(names.count("two-stage-miller"));
+}
+
+TEST(ComposedSpace, EnumerationOrderIsStableAcrossCalls) {
+  const auto a = tp::enumerateOpampStructures();
+  const auto b = tp::enumerateOpampStructures();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].name(), b[i].name()) << i;
+}
+
+TEST(ComposedSpace, ValidityRulesActuallyPrune) {
+  tp::OpampStructure s;  // legacy OTA shape
+  s.comp = tp::Compensation::Miller;
+  EXPECT_FALSE(s.valid());  // compensation without a second stage
+  s.comp = tp::Compensation::None;
+  s.secondStage = true;
+  EXPECT_FALSE(s.valid());  // second stage without compensation
+  s.comp = tp::Compensation::Miller;
+  EXPECT_TRUE(s.valid());
+  s.secondStage = false;
+  s.comp = tp::Compensation::None;
+  s.inputCascode = s.loadCascode = s.tailCascode = true;
+  EXPECT_FALSE(s.valid());  // headroom rule
+}
+
+TEST(ComposedSpace, LegacyComplexityFiguresMatchHandWrittenEntries) {
+  for (const auto& s : tp::enumerateOpampStructures()) {
+    if (s.isLegacyOta()) {
+      EXPECT_EQ(s.deviceCount(), 6);
+    }
+    if (s.isLegacyTwoStage()) {
+      EXPECT_EQ(s.deviceCount(), 9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generated library
+
+TEST(GeneratedLibrary, EveryEntryHasBuilderBoundsAndRules) {
+  const auto& lib = genLib();
+  EXPECT_GE(lib.size(), 50u);
+  const auto& reg = sz::NetlistBuilderRegistry::instance();
+  for (const auto& e : lib.entries()) {
+    EXPECT_NE(reg.find(e.name), nullptr) << e.name;
+    EXPECT_FALSE(e.bounds.empty()) << e.name;
+    EXPECT_FALSE(e.rules.empty()) << e.name;
+    EXPECT_GT(e.complexity, 0) << e.name;
+    // The widening fix's contract across the whole space: strictly positive
+    // performances keep strictly positive lower bounds.
+    for (const char* perf : {"power", "ugf", "area", "noise_nv"}) {
+      ASSERT_TRUE(e.bounds.count(perf)) << e.name << " " << perf;
+      EXPECT_GT(e.bounds.at(perf).lo(), 0.0) << e.name << " " << perf;
+    }
+    EXPECT_GE(e.bounds.at("swing").lo(), 0.0) << e.name;
+  }
+}
+
+TEST(GeneratedLibrary, ByNameWorksAndMissListsTheSpace) {
+  EXPECT_NO_THROW(genLib().byName("five-transistor-ota"));
+  EXPECT_NO_THROW(genLib().byName("gen/dpp.mirs.tails"));
+  try {
+    genLib().byName("no-such-topology");
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("gen/"), std::string::npos) << e.what();
+  }
+}
+
+TEST(GeneratedLibrary, RebuildIsBitIdentical) {
+  // Deterministic construction: a second library (same process, same load)
+  // has the same entry order, bounds, and complexities, bit for bit.
+  const auto& a = genLib();
+  const auto b = tp::generatedAmplifierLibrary(proc(), kLoadCap);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ea = a.entries()[i];
+    const auto& eb = b.entries()[i];
+    EXPECT_EQ(ea.name, eb.name);
+    EXPECT_EQ(ea.complexity, eb.complexity);
+    ASSERT_EQ(ea.bounds.size(), eb.bounds.size()) << ea.name;
+    for (const auto& [k, v] : ea.bounds) {
+      ASSERT_TRUE(eb.bounds.count(k)) << ea.name << " " << k;
+      EXPECT_TRUE(bitEq(v.lo(), eb.bounds.at(k).lo())) << ea.name << " " << k;
+      EXPECT_TRUE(bitEq(v.hi(), eb.bounds.at(k).hi())) << ea.name << " " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy cells as composition instances: bit-identical models
+
+TEST(LegacyReproduction, OtaModelMatchesBitForBit) {
+  const sz::OtaEquationModel hand(proc(), kLoadCap);
+  const auto& composed = *genLib().byName("five-transistor-ota").model;
+
+  const auto& hv = hand.variables();
+  const auto& cv = composed.variables();
+  ASSERT_EQ(hv.size(), cv.size());
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    EXPECT_EQ(hv[i].name, cv[i].name);
+    EXPECT_TRUE(bitEq(hv[i].lo, cv[i].lo)) << hv[i].name;
+    EXPECT_TRUE(bitEq(hv[i].hi, cv[i].hi)) << hv[i].name;
+    EXPECT_EQ(hv[i].logScale, cv[i].logScale) << hv[i].name;
+  }
+
+  for (const auto& x : samplePoints(hand, 60, 101)) {
+    const auto ph = hand.evaluate(x);
+    const auto pc = composed.evaluate(x);
+    ASSERT_EQ(ph.size(), pc.size());
+    for (const auto& [k, v] : ph) {
+      ASSERT_TRUE(pc.count(k)) << k;
+      EXPECT_TRUE(bitEq(v, pc.at(k))) << k << " at x0=" << x[0];
+    }
+  }
+}
+
+TEST(LegacyReproduction, TwoStageModelMatchesBitForBit) {
+  const sz::TwoStageEquationModel hand(proc(), kLoadCap);
+  const auto& composed = *genLib().byName("two-stage-miller").model;
+
+  const auto& hv = hand.variables();
+  const auto& cv = composed.variables();
+  ASSERT_EQ(hv.size(), cv.size());
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    EXPECT_EQ(hv[i].name, cv[i].name);
+    EXPECT_TRUE(bitEq(hv[i].lo, cv[i].lo)) << hv[i].name;
+    EXPECT_TRUE(bitEq(hv[i].hi, cv[i].hi)) << hv[i].name;
+    EXPECT_EQ(hv[i].logScale, cv[i].logScale) << hv[i].name;
+  }
+
+  for (const auto& x : samplePoints(hand, 60, 103)) {
+    const auto ph = hand.evaluate(x);
+    const auto pc = composed.evaluate(x);
+    ASSERT_EQ(ph.size(), pc.size());
+    for (const auto& [k, v] : ph) {
+      ASSERT_TRUE(pc.count(k)) << k;
+      EXPECT_TRUE(bitEq(v, pc.at(k))) << k << " at x0=" << x[0];
+    }
+  }
+}
+
+TEST(LegacyReproduction, BoundsMatchTheLegacyLibraryBitForBit) {
+  // Same models, same grids => same sampled hulls, same widened bounds.
+  const auto legacy = tp::amplifierLibrary(proc(), kLoadCap, tp::TopologySpace::Legacy);
+  for (const char* name : {"five-transistor-ota", "two-stage-miller"}) {
+    const auto& bl = legacy.byName(name).bounds;
+    const auto& bg = genLib().byName(name).bounds;
+    ASSERT_EQ(bl.size(), bg.size()) << name;
+    for (const auto& [k, v] : bl) {
+      ASSERT_TRUE(bg.count(k)) << name << " " << k;
+      EXPECT_TRUE(bitEq(v.lo(), bg.at(k).lo())) << name << " " << k;
+      EXPECT_TRUE(bitEq(v.hi(), bg.at(k).hi())) << name << " " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy cells as composition instances: bit-identical netlists
+
+TEST(LegacyReproduction, OtaNetlistMatchesDeviceForDevice) {
+  const sz::OtaEquationModel hand(proc(), kLoadCap);
+  tp::OpampStructure s;  // default-constructed == legacy OTA
+  ASSERT_TRUE(s.isLegacyOta());
+  const sz::OpampTestbench tb;
+  for (const auto& x : samplePoints(hand, 8, 107)) {
+    const auto p = hand.toParams(x);
+    sz::OtaParams op = p;
+    const auto handNet = sz::buildOta(op, proc(), tb);
+    const auto compNet = tp::buildComposedOpamp(s, x, proc(), tb);
+    expectSameDevices(handNet, compNet, "ota");
+  }
+}
+
+TEST(LegacyReproduction, TwoStageNetlistMatchesDeviceForDevice) {
+  const sz::TwoStageEquationModel hand(proc(), kLoadCap);
+  tp::OpampStructure s;
+  s.secondStage = true;
+  s.comp = tp::Compensation::Miller;
+  ASSERT_TRUE(s.isLegacyTwoStage());
+  const sz::OpampTestbench tb;
+  for (const auto& x : samplePoints(hand, 8, 109)) {
+    const auto handNet = sz::buildTwoStageOpamp(hand.toParams(x), proc(), tb);
+    const auto compNet = tp::buildComposedOpamp(s, x, proc(), tb);
+    expectSameDevices(handNet, compNet, "two-stage");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every generated topology: netlist sanity + digest stability
+
+TEST(GeneratedNetlists, EveryTopologyBuildsASaneNetlist) {
+  const sz::OpampTestbench tb;
+  const auto& reg = sz::NetlistBuilderRegistry::instance();
+  for (const auto& e : genLib().entries()) {
+    const auto* builder = reg.find(e.name);
+    ASSERT_NE(builder, nullptr) << e.name;
+    const auto x = e.model->initialPoint();
+    const auto net = (*builder)(x, proc(), tb);
+
+    // Core I/O nodes exist.
+    for (const char* node : {"vdd", "inp", "inn", "out", "nbias", "tail"})
+      EXPECT_TRUE(net.findNode(node).has_value()) << e.name << " missing " << node;
+
+    const auto* model = dynamic_cast<const tp::ComposedOpampModel*>(e.model.get());
+    ASSERT_NE(model, nullptr) << e.name;
+    const auto& s = model->structure();
+
+    std::size_t mosCount = 0, railCount = 0;
+    for (const auto& d : net.devices()) {
+      if (d.type == ckt::DeviceType::Mos) {
+        ++mosCount;
+        ASSERT_EQ(d.nodes.size(), 4u) << e.name << " " << d.name;
+        EXPECT_GE(d.mos.w, proc().minW) << e.name << " " << d.name;
+        EXPECT_GT(d.mos.l, 0.0) << e.name << " " << d.name;
+        // Bulk hygiene: NMOS bulks tie to ground, PMOS bulks to vdd.
+        const std::string bulk = net.nodeName(d.nodes[3]);
+        if (d.mos.type == ckt::MosType::Nmos)
+          EXPECT_EQ(bulk, "0") << e.name << " " << d.name;
+        else
+          EXPECT_EQ(bulk, "vdd") << e.name << " " << d.name;
+      }
+      if (d.name == "VCASN" || d.name == "VCASP") ++railCount;
+    }
+    // MOS count follows the structure (deviceCount minus compensation
+    // passives); every cascode rail the structure needs is present.
+    int passives = 0;
+    if (s.secondStage) passives += 1;                              // CC
+    if (s.comp == tp::Compensation::MillerNulled) passives += 1;   // RZ
+    EXPECT_EQ(static_cast<int>(mosCount), s.deviceCount() - passives) << e.name;
+    const bool anyCascode =
+        s.inputCascode || s.loadCascode || s.tailCascode || s.sinkCascode;
+    EXPECT_EQ(railCount > 0, anyCascode) << e.name;
+
+    // Every model-predicted performance is a finite number at mid-box.
+    for (const auto& [k, v] : e.model->evaluate(x))
+      EXPECT_TRUE(std::isfinite(v)) << e.name << " " << k << "=" << v;
+  }
+}
+
+TEST(GeneratedNetlists, CanonicalDigestSurvivesDeclarationShuffle) {
+  const sz::OpampTestbench tb;
+  const auto& reg = sz::NetlistBuilderRegistry::instance();
+  for (const auto& e : genLib().entries()) {
+    const auto* builder = reg.find(e.name);
+    const auto x = e.model->initialPoint();
+    auto net = (*builder)(x, proc(), tb);
+    const auto digest = ckt::canonicalNetlistDigest(net);
+
+    auto shuffled = net;
+    std::reverse(shuffled.devices().begin(), shuffled.devices().end());
+    EXPECT_EQ(ckt::canonicalNetlistDigest(shuffled), digest) << e.name;
+
+    std::rotate(shuffled.devices().begin(), shuffled.devices().begin() + 3,
+                shuffled.devices().end());
+    EXPECT_EQ(ckt::canonicalNetlistDigest(shuffled), digest) << e.name;
+
+    // And a from-scratch rebuild reproduces the digest exactly.
+    const auto again = (*builder)(x, proc(), tb);
+    EXPECT_EQ(ckt::canonicalNetlistDigest(again), digest) << e.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection over the generated space: deterministic and thread/cache
+// invariant
+
+TEST(GeneratedSelection, BoundaryAndRuleSelectionAreDeterministic) {
+  sz::SpecSet specs;
+  specs.atLeast("gain_db", 60.0).atLeast("ugf", 2e6).atLeast("pm", 55.0).minimize("power",
+                                                                                  0.5, 1e-3);
+  const auto i1 = tp::intervalSelect(genLib(), specs);
+  const auto i2 = tp::intervalSelect(tp::generatedAmplifierLibrary(proc(), kLoadCap), specs);
+  ASSERT_EQ(i1.size(), i2.size());
+  for (std::size_t k = 0; k < i1.size(); ++k) {
+    EXPECT_EQ(i1[k].name, i2[k].name) << k;
+    EXPECT_EQ(i1[k].feasible, i2[k].feasible) << i1[k].name;
+    EXPECT_TRUE(bitEq(i1[k].score, i2[k].score)) << i1[k].name;
+  }
+  const auto r1 = tp::ruleBasedSelect(genLib(), specs);
+  const auto r2 = tp::ruleBasedSelect(genLib(), specs);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t k = 0; k < r1.size(); ++k) {
+    EXPECT_EQ(r1[k].name, r2[k].name) << k;
+    EXPECT_TRUE(bitEq(r1[k].score, r2[k].score)) << r1[k].name;
+  }
+}
+
+TEST(GeneratedSelection, LegacyCellsStillWinTheirHomeTurf) {
+  // The generated space must not displace the validated cells on the specs
+  // they were written for: rules + provenance keep them ranked first.
+  sz::SpecSet high;
+  high.atLeast("gain_db", 70.0).atLeast("ugf", 3e6).atLeast("pm", 55.0);
+  EXPECT_EQ(tp::ruleBasedSelect(genLib(), high)[0].name, "two-stage-miller");
+  sz::SpecSet low;
+  low.atLeast("gain_db", 35.0).atLeast("ugf", 3e7).minimize("power", 1.0, 1e-3);
+  EXPECT_EQ(tp::ruleBasedSelect(genLib(), low)[0].name, "five-transistor-ota");
+}
+
+TEST(GeneratedSelection, GeneticIsBitIdenticalAcrossThreadsAndCache) {
+  CacheGuard guard;
+  sz::SpecSet specs;
+  specs.atLeast("gain_db", 65.0).atLeast("ugf", 2e6).atLeast("pm", 50.0).minimize("power",
+                                                                                  0.5, 1e-3);
+  auto run = [&](bool cacheOn, std::size_t threads) {
+    cache::EvalCache::instance().clear();
+    cache::EvalCache::instance().setEnabled(cacheOn);
+    core::ScopedThreadPool pool(threads);
+    tp::GeneticOptions opts;
+    opts.seed = 41;
+    opts.populationSize = 24;
+    opts.generations = 12;
+    return tp::geneticSelectAndSize(genLib(), specs, opts);
+  };
+  const auto base = run(false, 1);
+  for (const bool cacheOn : {false, true})
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      const auto r = run(cacheOn, threads);
+      EXPECT_EQ(r.topology, base.topology) << cacheOn << "/" << threads;
+      EXPECT_TRUE(bitEq(r.cost, base.cost)) << cacheOn << "/" << threads;
+      ASSERT_EQ(r.x.size(), base.x.size());
+      for (std::size_t i = 0; i < r.x.size(); ++i)
+        EXPECT_TRUE(bitEq(r.x[i], base.x[i])) << cacheOn << "/" << threads << " x" << i;
+      EXPECT_EQ(r.evaluations, base.evaluations);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan seeds
+
+TEST(PlanSeeds, LegacyTwoStageSeedMatchesTheKnowledgePlan) {
+  sz::SpecSet specs;
+  specs.atLeast("gain_db", 60.0).atLeast("ugf", 2e6).atLeast("pm", 60.0);
+  tp::OpampStructure s;
+  s.secondStage = true;
+  s.comp = tp::Compensation::Miller;
+  const auto seed = tp::composedPlanSeed(s, specs, proc(), kLoadCap);
+  ASSERT_TRUE(seed.has_value());
+  ASSERT_EQ(seed->size(), s.variables().size());
+
+  const auto planIn = kn::opampPlanInputs(specs, kLoadCap);
+  ASSERT_TRUE(planIn.has_value());
+  const auto res = kn::twoStageOpampPlan().execute(proc(), *planIn);
+  ASSERT_TRUE(res.success);
+  const auto direct = kn::extractTwoStageDesign(res.context);
+  ASSERT_EQ(seed->size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_TRUE(bitEq((*seed)[i], direct[i])) << i;
+}
+
+TEST(PlanSeeds, EveryStructureGetsAnEvaluableSeed) {
+  // Modest gain so both family plans (OTA and two-stage) can complete —
+  // single-stage plans legitimately backtrack out of a 55+ dB ask.
+  sz::SpecSet specs;
+  specs.atLeast("gain_db", 35.0).atLeast("ugf", 2e6).atLeast("pm", 60.0);
+  for (const auto& s : tp::enumerateOpampStructures()) {
+    const auto seed = tp::composedPlanSeed(s, specs, proc(), kLoadCap);
+    ASSERT_TRUE(seed.has_value()) << s.name();
+    ASSERT_EQ(seed->size(), s.variables().size()) << s.name();
+    // Seeds stay inside the variable box and evaluate to finite numbers.
+    const auto& vars = s.variables();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      EXPECT_GE((*seed)[i], vars[i].lo) << s.name() << " " << vars[i].name;
+      EXPECT_LE((*seed)[i], vars[i].hi) << s.name() << " " << vars[i].name;
+    }
+    const tp::ComposedOpampModel model(s, proc(), kLoadCap);
+    for (const auto& [k, v] : model.evaluate(*seed))
+      EXPECT_TRUE(std::isfinite(v)) << s.name() << " " << k;
+  }
+  // Specs without the required gain_db+ugf pair yield no seed.
+  sz::SpecSet bare;
+  bare.atLeast("pm", 60.0);
+  EXPECT_FALSE(tp::composedPlanSeed(tp::OpampStructure{}, bare, proc(), kLoadCap));
+}

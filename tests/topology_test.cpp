@@ -12,8 +12,12 @@ namespace ckt = amsyn::circuit;
 namespace {
 const ckt::Process& proc() { return ckt::defaultProcess(); }
 
+// Pinned to the Legacy space: this suite asserts hand-written-library facts
+// (entry count, winners, bounds).  The generated composition space has its
+// own suite in composed_topology_test.cpp.
 const tp::TopologyLibrary& lib() {
-  static const tp::TopologyLibrary l = tp::amplifierLibrary(proc(), 5e-12);
+  static const tp::TopologyLibrary l =
+      tp::amplifierLibrary(proc(), 5e-12, tp::TopologySpace::Legacy);
   return l;
 }
 
@@ -122,6 +126,93 @@ TEST(Joint, AnnealerFindsFeasibleTopologyAndSizing) {
   const auto res = tp::jointSelectAndSize(lib(), highGainSpecs(), opts);
   EXPECT_TRUE(res.feasible) << "cost " << res.cost;
   EXPECT_EQ(res.topology, "two-stage-miller");
+}
+
+TEST(Library, ByNameMissReportsAvailableNames) {
+  try {
+    lib().byName("folded-cascode");
+    FAIL() << "byName should have thrown";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("folded-cascode"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("five-transistor-ota"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("two-stage-miller"), std::string::npos) << msg;
+  }
+}
+
+TEST(Library, AddRejectsDuplicateNames) {
+  tp::TopologyLibrary l;
+  tp::TopologyEntry e;
+  e.name = "dup";
+  l.add(e);
+  EXPECT_THROW(l.add(e), std::invalid_argument);
+  EXPECT_EQ(l.size(), 1u);
+}
+
+namespace {
+// One linear variable sweeping three performance shapes: strictly positive
+// (power-like, 5 decades), sign-crossing (pm-like), and floored at zero
+// (swing-like).  Exercises every branch of the widening fix.
+class SpanModel : public sz::PerformanceModel {
+ public:
+  const std::vector<sz::DesignVariable>& variables() const override {
+    static const std::vector<sz::DesignVariable> vars = {{"t", 0.0, 1.0, false}};
+    return vars;
+  }
+  sz::Performance evaluate(const std::vector<double>& x) const override {
+    const double t = x.at(0);
+    return {{"power", 1e-5 + t * (1e-3 - 1e-5)},
+            {"pm", -10.0 + 60.0 * t},
+            {"swing", 2.0 * t}};
+  }
+};
+}  // namespace
+
+TEST(Bounds, WideningNeverDrivesPositiveQuantitiesNegative) {
+  // Regression: midpoint widening used to push the lower bound of a
+  // strictly-positive hull ([1e-5, 1e-3] here: mid - 1.15*half < 0)
+  // negative, poisoning feasibility margins.
+  const auto b = tp::boundsBySampling(SpanModel{}, 3, 1.15);
+  EXPECT_GT(b.at("power").lo(), 0.0);
+  EXPECT_LT(b.at("power").lo(), 1e-5);   // still widened downward
+  EXPECT_GT(b.at("power").hi(), 1e-3);   // and upward
+  // Sign-crossing hulls keep the linear widening in both directions.
+  EXPECT_LT(b.at("pm").lo(), -10.0);
+  EXPECT_GT(b.at("pm").hi(), 50.0);
+  // A hull floored at zero clamps there instead of going negative.
+  EXPECT_DOUBLE_EQ(b.at("swing").lo(), 0.0);
+  EXPECT_GT(b.at("swing").hi(), 2.0);
+}
+
+TEST(Bounds, LegacyLibraryBoundsAreSane) {
+  for (const auto& e : lib().entries()) {
+    for (const char* perf : {"power", "ugf", "area", "noise_nv"}) {
+      ASSERT_TRUE(e.bounds.count(perf)) << e.name << " " << perf;
+      EXPECT_GT(e.bounds.at(perf).lo(), 0.0) << e.name << " " << perf;
+    }
+    EXPECT_GE(e.bounds.at("swing").lo(), 0.0) << e.name;
+  }
+}
+
+TEST(RuleBased, AggregatesAllSpecsOnOnePerformance) {
+  // Regression: the rule lambdas used to return on the *first* matching
+  // spec, so a second bound on the same performance scored nothing.
+  sz::SpecSet one;
+  one.atLeast("gain_db", 70.0);
+  sz::SpecSet two;
+  two.atLeast("gain_db", 70.0).atLeast("gain_db", 80.0);
+  auto scoreOf = [](const std::vector<tp::Candidate>& ranked, const std::string& name) {
+    for (const auto& c : ranked)
+      if (c.name == name) return c.score;
+    ADD_FAILURE() << name << " missing from ranking";
+    return 0.0;
+  };
+  const auto r1 = tp::ruleBasedSelect(lib(), one);
+  const auto r2 = tp::ruleBasedSelect(lib(), two);
+  // The second high-gain bound contributes its own +3 (two-stage) / -3 (OTA).
+  EXPECT_DOUBLE_EQ(scoreOf(r2, "two-stage-miller") - scoreOf(r1, "two-stage-miller"), 3.0);
+  EXPECT_DOUBLE_EQ(scoreOf(r2, "five-transistor-ota") - scoreOf(r1, "five-transistor-ota"),
+                   -3.0);
 }
 
 TEST(Joint, LowGainSpecsCanKeepTheOta) {
