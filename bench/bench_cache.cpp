@@ -68,6 +68,15 @@ bool bitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
          (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
 }
 
+/// Hit rate as a percentage for stdout; "n/a" when there was no traffic at
+/// all, so an idle cache never prints as a 0% one.
+std::string hitRatePercent(std::uint64_t hits, std::uint64_t misses) {
+  if (hits + misses == 0) return "n/a";
+  return core::Table::num(100.0 * static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)) +
+         "%";
+}
+
 struct HuntRun {
   double seconds = 0.0;
   std::vector<double> margins;  ///< hunt margins then audit margins, spec order
@@ -137,15 +146,13 @@ void writeJson() {
 
   const std::uint64_t hits = statsAfter.hits - statsBefore.hits;
   const std::uint64_t misses = statsAfter.misses - statsBefore.misses;
-  const double hitRate =
-      hits + misses ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
   const double speedup = off.seconds / std::max(on.seconds, 1e-12);
   const bool identical = bitIdentical(off.margins, on.margins);
 
   core::Table t({"corner hunt + audit (sim model)", "seconds", "notes"});
   t.addRow({"cache off", core::Table::num(off.seconds), "every vertex re-simulated"});
   t.addRow({"cache on", core::Table::num(on.seconds),
-            "hit rate " + core::Table::num(hitRate * 100) + "%"});
+            "hit rate " + hitRatePercent(hits, misses)});
   t.print(std::cout);
   std::cout << "speedup: " << core::Table::num(speedup)
             << "x   margins bit-identical: " << (identical ? "yes" : "NO") << "\n\n";
@@ -157,17 +164,14 @@ void writeJson() {
   const auto gAfter = c.stats();
   const std::uint64_t ghits = gAfter.hits - gBefore.hits;
   const std::uint64_t gmisses = gAfter.misses - gBefore.misses;
-  const double gHitRate =
-      ghits + gmisses ? static_cast<double>(ghits) / static_cast<double>(ghits + gmisses)
-                      : 0.0;
   const double gSpeedup = goff.seconds / std::max(gon.seconds, 1e-12);
   const bool gIdentical = bitIdentical(goff.x, gon.x) && goff.cost == gon.cost;
 
   std::cout << "genetic selection (equation models): " << core::Table::num(goff.seconds)
             << " s off, " << core::Table::num(gon.seconds) << " s on ("
             << core::Table::num(gSpeedup) << "x, hit rate "
-            << core::Table::num(gHitRate * 100)
-            << "%), result identical: " << (gIdentical ? "yes" : "NO") << "\n"
+            << hitRatePercent(ghits, gmisses)
+            << "), result identical: " << (gIdentical ? "yes" : "NO") << "\n"
             << "(equation evaluations cost about as much as a lookup — this is the\n"
             << " cache's overhead floor, not its use case)\n\n";
 
@@ -177,19 +181,22 @@ void writeJson() {
   report.addValue("corner_hunt_seconds_cache_off", off.seconds)
       .addValue("corner_hunt_seconds_cache_on", on.seconds)
       .addValue("speedup", speedup)
-      .addValue("hit_rate", hitRate)
+      // addRatio emits null (not 0) when hits+misses == 0: "no traffic" must
+      // never read as "0% hit rate".
+      .addRatio("hit_rate", static_cast<double>(hits), static_cast<double>(hits + misses))
       .addValue("hits", static_cast<double>(hits))
       .addValue("misses", static_cast<double>(misses))
       .addValue("results_bit_identical", identical ? 1.0 : 0.0)
       .addValue("genetic_seconds_cache_off", goff.seconds)
       .addValue("genetic_seconds_cache_on", gon.seconds)
       .addValue("genetic_speedup", gSpeedup)
-      .addValue("genetic_hit_rate", gHitRate)
+      .addRatio("genetic_hit_rate", static_cast<double>(ghits),
+                static_cast<double>(ghits + gmisses))
       .addValue("genetic_results_bit_identical", gIdentical ? 1.0 : 0.0);
   report.write("BENCH_cache.json");
   std::cout << "wrote BENCH_cache.json: " << core::Table::num(speedup)
-            << "x corner-hunt speedup at " << core::Table::num(hitRate * 100)
-            << "% hit rate\n\n";
+            << "x corner-hunt speedup at hit rate " << hitRatePercent(hits, misses)
+            << "\n\n";
 
   c.setEnabled(savedEnabled);
   c.clear();

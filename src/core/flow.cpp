@@ -94,6 +94,7 @@ std::vector<FlowResult> synthesizeBatch(const std::vector<sizing::SpecSet>& batc
   // the same (idempotent) application, so fan-out order cannot matter.
   applyEvalCacheOptions(opts.evalCache);
   applySolverOption(opts.solver);
+  applySurrogateOption(opts.surrogate);
   return parallelMap(batch.size(), [&](std::size_t i) {
     FlowEngine engine(amplifierStageGraph());
     return engine.run(batch[i], proc, batchItemOptions(opts, i));

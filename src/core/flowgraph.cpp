@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/evalcache.hpp"
+#include "core/surrogate.hpp"
 #include "core/trace.hpp"
 #include "knowledge/opamp_plans.hpp"
 #include "sim/fault.hpp"
@@ -107,6 +108,26 @@ void applySolverOption(SolverOption opt) {
   }
 }
 
+void applySurrogateOption(SurrogateOption opt) {
+  auto& store = surrogate::Store::instance();
+  switch (opt) {
+    case SurrogateOption::Default:
+      // Touch the store anyway (mode() forces the singleton) so the
+      // core.surrogate.* counters exist in every flow's report snapshot.
+      (void)store.mode();
+      break;
+    case SurrogateOption::Off:
+      store.setMode(surrogate::Mode::Off);
+      break;
+    case SurrogateOption::Ordering:
+      store.setMode(surrogate::Mode::Ordering);
+      break;
+    case SurrogateOption::Pruning:
+      store.setMode(surrogate::Mode::Pruning);
+      break;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // FlowEngine
 
@@ -190,6 +211,7 @@ FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process&
   AMSYN_SPAN("flow");
   applyEvalCacheOptions(opts.evalCache);
   applySolverOption(opts.solver);
+  applySurrogateOption(opts.surrogate);
 
   DesignContext ctx(specs, proc, opts);
   ctx.electrical = filterElectrical(specs);

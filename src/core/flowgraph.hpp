@@ -298,4 +298,10 @@ void applyEvalCacheOptions(const EvalCacheOptions& opts);
 /// as applyEvalCacheOptions; Default is a no-op).
 void applySolverOption(SolverOption opt);
 
+/// Apply a surrogate-screening choice to the process-wide store (same call
+/// sites as applyEvalCacheOptions; Default is a no-op).  Always touches the
+/// store so its core.surrogate.* counters register eagerly — run-report
+/// schemas must match across modes.
+void applySurrogateOption(SurrogateOption opt);
+
 }  // namespace amsyn::core

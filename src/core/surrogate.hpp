@@ -1,0 +1,193 @@
+// Learned surrogate screening over evaluation traffic (ROADMAP: "learned
+// surrogate screening"; cf. the ML-enabled AMS synthesis survey,
+// arXiv:2112.07824).  An incremental ridge-regression model is fitted online
+// from the (candidate -> Performance) pairs that sizing::safeEvaluate already
+// produces by the thousand, then consumed in two modes:
+//
+//   * Ordering — pre-rank evaluation batches (annealing calibration probes,
+//     genetic offspring, corner vertices) so promising candidates evaluate
+//     first.  Results land in their original index slots and every reduction
+//     scans index order, so final results are bit-identical by construction;
+//     only the parallel claim order changes.
+//   * Pruning — skip evaluations whose predicted worst-case constraint
+//     margin is confidently infeasible (calibrated uncertainty band).  This
+//     mode can change results and is therefore off by default and audited:
+//     every pruned candidate is logged so tests can re-evaluate it offline
+//     and count false prunes.
+//
+// Like the evaluation cache this sits below the evaluation libraries:
+// sizing/topology/manufacture consult it on their hot paths, so the target
+// (amsyn_surrogate) depends only on amsyn_metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evalcache.hpp"
+
+namespace amsyn::core::surrogate {
+
+/// Consumption mode (see file comment).  Pruning implies ordering: a store
+/// confident enough to skip evaluations certainly pre-ranks them too.
+enum class Mode : std::uint8_t {
+  Off,       ///< surrogate neither trains nor predicts (default)
+  Ordering,  ///< train + pre-rank batches; results bit-identical
+  Pruning,   ///< ordering + skip confidently-infeasible evaluations
+};
+
+inline constexpr const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::Off: return "off";
+    case Mode::Ordering: return "ordering";
+    case Mode::Pruning: return "pruning";
+  }
+  return "unknown";
+}
+
+/// A featurized candidate: the class key identifies one learnable family
+/// (model identity minus anything encoded in the feature vector), and the
+/// feature vector is [1 (bias)] ++ normalized design coordinates ++ model
+/// context (e.g. corner-process parameters).  Built by
+/// sizing::surrogateCandidate from a PerformanceModel's attestation.
+struct Candidate {
+  cache::Digest128 classKey;
+  std::vector<double> features;
+};
+
+/// One per-head prediction.  `sigma` is the calibrated predictive standard
+/// deviation s * sqrt(1 + phi' P phi) with s^2 estimated prequentially
+/// (predict-before-train residuals), so it reflects honest out-of-sample
+/// error, not training fit.  `calibrated` turns true once enough residuals
+/// accumulated for sigma to be trustworthy; pruning must require it.
+struct Prediction {
+  double mean = 0.0;
+  double sigma = 0.0;
+  bool calibrated = false;
+};
+
+/// Incremental ridge regression with a shared design-matrix inverse and one
+/// output head per performance name.  Maintains P = (lambda I + X'X)^-1 via
+/// Sherman–Morrison rank-1 updates, so training is O(d^2) per observed pair
+/// and prediction is O(d^2) (lazy weight refresh) or O(d) when weights are
+/// clean.  Deterministic: the same observation sequence produces bit-equal
+/// predictions.  NOT thread-safe — Store serializes access per class.
+class RidgeModel {
+ public:
+  static constexpr double kDefaultLambda = 1e-3;
+  /// Prequential residuals required before sigma counts as calibrated.
+  static constexpr std::size_t kMinCalibration = 32;
+
+  explicit RidgeModel(std::size_t dim, double lambda = kDefaultLambda);
+
+  /// Fold in one observation.  `phi` must have length dim; `heads` maps
+  /// performance name -> observed value.  The head set is pinned by the
+  /// first observation; later observations must carry the same names
+  /// (returns false and ignores the pair otherwise), keeping every head's
+  /// weights an exact ridge solve over the same design matrix.
+  bool observe(const std::vector<double>& phi,
+               const std::map<std::string, double>& heads);
+
+  /// Predict one head at phi.  nullopt until the model has seen at least
+  /// dim observations (underdetermined fits order nothing useful) or when
+  /// the head is unknown.
+  std::optional<Prediction> predict(const std::vector<double>& phi,
+                                    const std::string& head);
+
+  std::size_t dimension() const { return dim_; }
+  std::size_t observations() const { return count_; }
+
+  /// Current ridge weights for one head (empty if unknown) — exposed for
+  /// the property tests that compare against a batch normal-equation solve.
+  std::vector<double> weights(const std::string& head);
+
+ private:
+  struct Head {
+    std::vector<double> b;  ///< accumulated X'y
+    std::vector<double> w;  ///< lazy P b
+    bool dirty = true;
+    std::uint64_t residuals = 0;
+    double residualSumSq = 0.0;
+  };
+
+  void refresh(Head& h);
+
+  std::size_t dim_;
+  double lambda_;
+  std::size_t count_ = 0;
+  std::vector<double> p_;  ///< row-major dim x dim, symmetric
+  std::map<std::string, Head> heads_;
+};
+
+/// Process-wide surrogate store: one RidgeModel per candidate class, a mode
+/// switch, metrics, and the pruning audit log.  All methods are thread-safe.
+class Store {
+ public:
+  static Store& instance();
+
+  /// Consumption mode; initialized from AMSYN_SURROGATE (unset/"0"/"off" =
+  /// Off, "1"/"on"/"order"/"ordering" = Ordering, "prune"/"pruning" =
+  /// Pruning), overridable per flow via FlowOptions::surrogate.
+  Mode mode() const;
+  void setMode(Mode m);
+
+  /// Training tap (called by sizing::safeEvaluate on fresh, feasible
+  /// evaluations).  Creates the class on first sight; non-finite features
+  /// or values, dimension drift, and head-set drift are declined.
+  void observe(const Candidate& c, const std::map<std::string, double>& heads);
+
+  /// Per-head predictions for one candidate.  Unknown class, unknown head,
+  /// or an immature model yield nullopt in that slot.
+  std::optional<Prediction> predict(const Candidate& c, const std::string& head);
+  std::vector<std::optional<Prediction>> predictMany(
+      const Candidate& c, const std::vector<std::string>& heads);
+
+  /// Tally one batch whose evaluation order the surrogate actually permuted.
+  void noteOrderedBatch();
+
+  /// Audit record for one pruned evaluation: enough to re-run the real
+  /// evaluator offline and check the verdict (tests/surrogate_test.cpp
+  /// counts false prunes against a budget of zero).
+  struct PruneRecord {
+    cache::Digest128 classKey;
+    std::vector<double> x;        ///< raw design point (model space)
+    std::string spec;             ///< performance that triggered the prune
+    double predictedMargin = 0.0; ///< normalized margin bound that triggered
+    double sigma = 0.0;           ///< normalized predictive sigma
+    /// Corner coordinates for hunt-vertex prunes (empty for candidate-level
+    /// prunes): lets the audit rebuild the exact pruned evaluation.
+    std::vector<double> corner;
+  };
+  void recordPrune(PruneRecord r);
+  std::vector<PruneRecord> pruneLog() const;
+
+  struct SurrogateStats {
+    std::uint64_t observations = 0;
+    std::uint64_t predictions = 0;
+    std::uint64_t declined = 0;
+    std::uint64_t orderedBatches = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t classes = 0;
+  };
+  SurrogateStats stats() const;
+
+  /// Drop all learned state and the prune log (mode is kept).  Differential
+  /// tests call this between arms so each run trains from scratch.
+  void clear();
+
+ private:
+  Store();
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Deterministic evaluation order for a scored batch: indices with scores
+/// first, stable-sorted ascending (lower = more promising), then unscored
+/// indices in their original order.  Pure scheduling — callers map results
+/// back to original slots, so reductions are unaffected.
+std::vector<std::size_t> orderByScore(
+    const std::vector<std::optional<double>>& scores);
+
+}  // namespace amsyn::core::surrogate

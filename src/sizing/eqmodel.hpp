@@ -30,6 +30,12 @@ class TwoStageEquationModel : public PerformanceModel {
   /// transaction — so caching them is pure overhead (the BENCH_cache
   /// genetic workload measures exactly this floor).
   EvalCost evalCost() const override { return EvalCost::Cheap; }
+  /// Cheap models are never pruned (tryPrune skips them) but still attest a
+  /// signature so ordering mode can pre-rank genetic offspring over the
+  /// default equation-model library.
+  std::optional<SurrogateSignature> surrogateSignature() const override {
+    return surrogateSig_;
+  }
 
   /// Map a design point to device sizes for simulation / layout.
   TwoStageParams toParams(const std::vector<double>& x) const;
@@ -41,6 +47,7 @@ class TwoStageEquationModel : public PerformanceModel {
   double loadCap_;
   std::vector<DesignVariable> vars_;
   core::cache::Hasher128 keyPrefix_;  ///< tag+process+loadCap, mixed once
+  SurrogateSignature surrogateSig_;   ///< tag+loadCap class; process as context
 };
 
 /// Five-transistor OTA, equation-based.
@@ -55,6 +62,9 @@ class OtaEquationModel : public PerformanceModel {
   std::optional<core::cache::Digest128> cacheKey(
       const std::vector<double>& x) const override;
   EvalCost evalCost() const override { return EvalCost::Cheap; }
+  std::optional<SurrogateSignature> surrogateSignature() const override {
+    return surrogateSig_;
+  }
 
   OtaParams toParams(const std::vector<double>& x) const;
 
@@ -63,6 +73,7 @@ class OtaEquationModel : public PerformanceModel {
   double loadCap_;
   std::vector<DesignVariable> vars_;
   core::cache::Hasher128 keyPrefix_;  ///< tag+process+loadCap, mixed once
+  SurrogateSignature surrogateSig_;   ///< tag+loadCap class; process as context
 };
 
 /// Equation model that owns a copy of its process — corner and yield

@@ -29,6 +29,7 @@
 #include "core/evalcache.hpp"
 #include "core/flow.hpp"
 #include "core/parallel.hpp"
+#include "core/surrogate.hpp"
 
 namespace core = amsyn::core;
 namespace sz = amsyn::sizing;
@@ -89,7 +90,8 @@ std::string neutralizeSpans(const std::string& json) {
   return json.substr(0, pos) + "\"spans\": \"<masked>\"\n}\n";
 }
 
-std::string normalizedFlowReport() {
+std::string normalizedFlowReport(
+    core::SurrogateOption surrogate = core::SurrogateOption::Off) {
   // Pinned configuration: fixed seed, fixed thread count, cache enabled at
   // defaults — the same flow tests/evalcache_test.cpp proves bit-identical
   // across all of these knobs, so this report is reproducible everywhere.
@@ -111,6 +113,8 @@ std::string normalizedFlowReport() {
   opts.synthesis.anneal.coolingRate = 0.7;
   opts.synthesis.refineEvaluations = 40;
   opts.layout.annealPlacement = false;
+  opts.surrogate = surrogate;
+  amsyn::core::surrogate::Store::instance().clear();
   const auto result = core::synthesizeAmplifier(specs, ckt::defaultProcess(), opts);
   return neutralizeSpans(maskNumbers(core::flowRunReportJson(result)));
 }
@@ -135,6 +139,21 @@ TEST(ReportSchema, FlowRunReportMatchesGolden) {
   EXPECT_EQ(actual, golden.str())
       << "flow run-report schema drifted; if intentional, regenerate via "
          "AMSYN_REGEN_GOLDEN=1 ./build/tests/report_schema_test and review the diff";
+}
+
+TEST(ReportSchema, SchemaIsSurrogateModeIndependent) {
+  // The core.surrogate.* counters register eagerly (not at first use), so
+  // the report's key set — the schema — must be identical whether the
+  // surrogate is off, ordering, or pruning.  For Off and Ordering the whole
+  // normalized report matches (ordering keeps flow results bit-identical;
+  // tests/surrogate_test.cpp proves that at the result level); Pruning in
+  // this flow never fires (equation models are Cheap, below the prune
+  // gate's Heavy threshold), so its report matches too.
+  const std::string off = normalizedFlowReport(core::SurrogateOption::Off);
+  EXPECT_EQ(off, normalizedFlowReport(core::SurrogateOption::Ordering));
+  EXPECT_EQ(off, normalizedFlowReport(core::SurrogateOption::Pruning));
+  amsyn::core::surrogate::Store::instance().setMode(
+      amsyn::core::surrogate::Mode::Off);
 }
 
 TEST(ReportSchema, MaskingIsStableAcrossRuns) {
