@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/envknobs.hpp"
 #include "core/metrics.hpp"
 #include "core/trace.hpp"
 
@@ -47,29 +48,7 @@ std::size_t entryBytes(const std::vector<double>& x, const CachedEval& v) {
   return bytes;
 }
 
-std::size_t envCapacity() {
-  if (const char* s = std::getenv("AMSYN_EVAL_CACHE_CAPACITY")) {
-    const long long n = std::atoll(s);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
-  return 1u << 16;  // 65536 entries; ~tens of MB of Performance maps
-}
-
-bool envEnabled() {
-  if (const char* s = std::getenv("AMSYN_EVAL_CACHE")) {
-    const std::string v(s);
-    if (v == "0" || v == "off" || v == "false" || v == "no") return false;
-  }
-  return true;
-}
-
-double envQuantum() {
-  if (const char* s = std::getenv("AMSYN_EVAL_CACHE_QUANTUM")) {
-    const double q = std::atof(s);
-    if (q > 0.0 && q < 0.5) return q;
-  }
-  return 0.0;  // exact-bit keys: the only mode with the bit-identity proof
-}
+constexpr std::size_t kBuiltinCapacity = std::size_t{1} << 16;
 
 }  // namespace
 
@@ -93,17 +72,30 @@ struct EvalCache::Impl {
     std::list<Digest128> lru;
   };
 
-  std::atomic<bool> enabled{envEnabled()};
-  std::atomic<std::size_t> capacity{envCapacity()};
-  std::atomic<double> quantum{envQuantum()};
+  std::atomic<bool> enabled{true};
+  std::atomic<std::size_t> capacity{kBuiltinCapacity};
+  std::atomic<double> quantum{0.0};
+  /// What setCapacity(0) restores: the env-derived capacity for the shared
+  /// instance, the built-in default for isolated ones.
+  std::size_t defaultCapacity = kBuiltinCapacity;
   std::atomic<std::uint64_t> entries{0};
   std::atomic<std::uint64_t> bytes{0};
   Shard shards[kShards];
 
   metrics::CounterId cHits, cMisses, cInserts, cEvictions, cCollisions, cBypasses;
 
-  Impl() {
-    auto& reg = metrics::Registry::instance();
+  explicit Impl(bool shared) {
+    if (shared) {
+      // The process-wide instance seeds its policy from the environment —
+      // the same parsers ContextConfig::fromEnv uses, so the two cannot
+      // drift.  Isolated instances keep the built-in defaults; their policy
+      // comes from the owning ExecutionContext.
+      enabled.store(envknobs::evalCacheEnabled(), std::memory_order_relaxed);
+      defaultCapacity = envknobs::evalCacheCapacity();
+      capacity.store(defaultCapacity, std::memory_order_relaxed);
+      quantum.store(envknobs::evalCacheQuantum(), std::memory_order_relaxed);
+    }
+    auto& reg = metrics::registry();
     // Registered eagerly (not lazily at first lookup) so the counter *keys*
     // in run-report snapshots are identical with the cache enabled and
     // disabled — the differential tests compare report schemas across both.
@@ -113,10 +105,15 @@ struct EvalCache::Impl {
     cEvictions = reg.counter("core.cache.evictions");
     cCollisions = reg.counter("core.cache.collisions");
     cBypasses = reg.counter("core.cache.bypasses");
-    reg.registerExternal("core.cache.entries",
-                         [this] { return entries.load(std::memory_order_relaxed); });
-    reg.registerExternal("core.cache.bytes",
-                         [this] { return bytes.load(std::memory_order_relaxed); });
+    if (shared) {
+      // Occupancy gauges name the shared instance only: registerExternal
+      // replaces readers by name, so an isolated instance registering here
+      // would silently hijack the process-wide report fields.
+      reg.registerExternal("core.cache.entries",
+                           [this] { return entries.load(std::memory_order_relaxed); });
+      reg.registerExternal("core.cache.bytes",
+                           [this] { return bytes.load(std::memory_order_relaxed); });
+    }
   }
 
   Shard& shardFor(const Digest128& key) { return shards[key.hi % kShards]; }
@@ -127,23 +124,24 @@ struct EvalCache::Impl {
   }
 };
 
-EvalCache::EvalCache() = default;
+EvalCache::EvalCache(bool shared) : impl_(std::make_unique<Impl>(shared)) {}
+
+EvalCache::~EvalCache() = default;
 
 EvalCache& EvalCache::instance() {
-  static EvalCache* leaked = new EvalCache();
+  static EvalCache* leaked = new EvalCache(/*shared=*/true);
   return *leaked;
 }
 
-EvalCache::Impl& EvalCache::impl() const {
-  static Impl* leaked = new Impl();
-  return *leaked;
+std::unique_ptr<EvalCache> EvalCache::createIsolated() {
+  return std::unique_ptr<EvalCache>(new EvalCache(/*shared=*/false));
 }
 
 bool EvalCache::enabled() const { return impl().enabled.load(std::memory_order_relaxed); }
 void EvalCache::setEnabled(bool on) { impl().enabled.store(on, std::memory_order_relaxed); }
 
 void EvalCache::setCapacity(std::size_t maxEntries) {
-  impl().capacity.store(maxEntries == 0 ? envCapacity() : maxEntries,
+  impl().capacity.store(maxEntries == 0 ? impl().defaultCapacity : maxEntries,
                         std::memory_order_relaxed);
 }
 std::size_t EvalCache::capacity() const {
@@ -233,7 +231,7 @@ void EvalCache::clear() {
 
 CacheStats EvalCache::stats() const {
   Impl& im = impl();
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   CacheStats s;
   s.hits = reg.total(im.cHits);
   s.misses = reg.total(im.cMisses);

@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -191,7 +192,21 @@ struct CacheStats {
 class EvalCache {
  public:
   /// The process-wide cache (leaked on purpose, like the metrics registry).
+  /// Production code resolves it through core::ExecutionContext (the
+  /// context lint bans new direct instance() calls); the shared instance
+  /// seeds its policy from the AMSYN_EVAL_CACHE* knobs.
   static EvalCache& instance();
+
+  /// A private cache for context isolation (per-tenant caching in the
+  /// synthesis-service scenario): its own LRU state and entry/byte gauges,
+  /// built-in defaults (enabled, 2^16 entries, exact-bit keys) rather than
+  /// env-derived ones, and no registry externals — "core.cache.entries"/
+  /// "core.cache.bytes" keep naming the shared instance.  Hit/miss counter
+  /// traffic still lands in the shared process counters (they are real
+  /// events); per-instance occupancy is read via stats().entries/bytes.
+  static std::unique_ptr<EvalCache> createIsolated();
+
+  ~EvalCache();
 
   /// Enabled unless AMSYN_EVAL_CACHE is "0"/"off"/"false" or setEnabled
   /// overrode it.
@@ -233,8 +248,11 @@ class EvalCache {
   struct Impl;
 
  private:
-  EvalCache();
-  Impl& impl() const;
+  /// `shared` selects env-seeded policy + registry externals (the process
+  /// instance) vs. built-in defaults and no externals (isolated instances).
+  explicit EvalCache(bool shared);
+  Impl& impl() const { return *impl_; }
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace amsyn::core::cache

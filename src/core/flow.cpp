@@ -88,20 +88,29 @@ std::vector<FlowResult> synthesizeBatch(const std::vector<sizing::SpecSet>& batc
                                         const FlowOptions& opts) {
   AMSYN_SPAN("flow_batch");
   static const metrics::CounterId kBatchDesigns =
-      metrics::Registry::instance().counter("core.flow.batch.designs");
+      metrics::registry().counter("core.flow.batch.designs");
   metrics::add(kBatchDesigns, batch.size());
-  // Configure the shared cache once up front; each per-design engine re-runs
-  // the same (idempotent) application, so fan-out order cannot matter.
-  applyEvalCacheOptions(opts.evalCache);
-  applySolverOption(opts.solver);
-  applySurrogateOption(opts.surrogate);
+  // Configure the caller's context once up front; each per-design engine
+  // re-runs the same (idempotent) application on its job context, so
+  // fan-out order cannot matter.
+  ExecutionContext& parent = ExecutionContext::current();
+  applyEvalCacheOptions(opts.evalCache, parent);
+  applySolverOption(opts.solver, parent);
+  applySurrogateOption(opts.surrogate, parent);
   return parallelMap(batch.size(), [&](std::size_t i) {
+    // One child context per job: same config/handles as the caller, its own
+    // fault schedule (inheriting the caller's armed plan through the chain)
+    // and a metrics slice chained under the caller's.  The engine installs
+    // it for the job's duration.
+    const auto jobContext = parent.makeChild();
     FlowEngine engine(amplifierStageGraph());
-    return engine.run(batch[i], proc, batchItemOptions(opts, i));
+    return engine.run(batch[i], proc, batchItemOptions(opts, i), *jobContext);
   });
 }
 
-std::string flowRunReportJson(const FlowResult& result) {
+namespace {
+
+RunReport buildFlowReport(const FlowResult& result) {
   RunReport report;
   report.name = "flow";
   report.addInfo("topology", result.topology)
@@ -130,6 +139,23 @@ std::string flowRunReportJson(const FlowResult& result) {
     report.addValue(prefix + "attempt", static_cast<double>(s.attempt));
     report.addValue(prefix + "seconds", s.seconds);
   }
+  return report;
+}
+
+}  // namespace
+
+std::string flowRunReportJson(const FlowResult& result) {
+  return buildFlowReport(result).toJson();
+}
+
+std::string flowRunReportJson(const FlowResult& result, const ExecutionContext& ctx) {
+  RunReport report = buildFlowReport(result);
+  // The context's counter slice rides along as ordinary values: what THIS
+  // job/tenant recorded, next to the process-wide registry snapshot the
+  // report always carries.  Zero-delta counters are omitted (the slice map
+  // is sparse), so presence means "this context actually recorded it".
+  for (const auto& [name, delta] : ctx.sliceCounters())
+    report.addValue("ctx." + name, static_cast<double>(delta));
   return report.toJson();
 }
 

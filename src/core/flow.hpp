@@ -33,6 +33,8 @@
 
 namespace amsyn::core {
 
+class ExecutionContext;  // core/context.hpp
+
 /// AC verification testbench descriptor: which node the verification stage
 /// probes and the frequency grid it sweeps.  Defaults reproduce the classic
 /// open-loop opamp bench (probe "out", 1 Hz .. 1 GHz, 6 points/decade).
@@ -220,5 +222,12 @@ sizing::Performance measureAmplifier(const circuit::Netlist& net,
 /// metrics-registry snapshot and trace-span aggregate (schema in
 /// core/runreport.hpp).
 std::string flowRunReportJson(const FlowResult& result);
+
+/// Context-sliced variant: additionally emits "ctx.<counter>" values for
+/// every metric delta the given execution context recorded (its metrics
+/// slice) — the per-tenant view a multi-job daemon reports next to the
+/// process-wide snapshot.  With no slice (the ambient context) the output
+/// is byte-identical to the single-argument form.
+std::string flowRunReportJson(const FlowResult& result, const ExecutionContext& ctx);
 
 }  // namespace amsyn::core

@@ -55,12 +55,12 @@ struct FlowCounters {
 };
 const FlowCounters& flowCounters() {
   static const FlowCounters ids = {
-      metrics::Registry::instance().counter("core.flow.attempts"),
-      metrics::Registry::instance().counter("core.flow.batch.designs"),
-      metrics::Registry::instance().counter("core.flow.retry.attempts"),
-      metrics::Registry::instance().counter("core.flow.retry.successes"),
-      metrics::Registry::instance().counter("core.flow.retry.exhausted"),
-      metrics::Registry::instance().counter("core.flow.deadline.expired"),
+      metrics::registry().counter("core.flow.attempts"),
+      metrics::registry().counter("core.flow.batch.designs"),
+      metrics::registry().counter("core.flow.retry.attempts"),
+      metrics::registry().counter("core.flow.retry.successes"),
+      metrics::registry().counter("core.flow.retry.exhausted"),
+      metrics::registry().counter("core.flow.deadline.expired"),
   };
   return ids;
 }
@@ -80,39 +80,51 @@ void backoffSleep(std::uint64_t delayMs, const DeadlineBudget& deadline) {
 }  // namespace
 
 void applyEvalCacheOptions(const EvalCacheOptions& opts) {
+  applyEvalCacheOptions(opts, ExecutionContext::current());
+}
+
+void applyEvalCacheOptions(const EvalCacheOptions& opts, ExecutionContext& ctx) {
   switch (opts.mode) {
     case EvalCacheOptions::Mode::Default:
       break;
     case EvalCacheOptions::Mode::Disabled:
-      cache::EvalCache::instance().setEnabled(false);
+      ctx.evalCache().setEnabled(false);
       break;
     case EvalCacheOptions::Mode::Bounded:
-      cache::EvalCache::instance().setCapacity(opts.capacity);
+      ctx.evalCache().setCapacity(opts.capacity);
       break;
   }
 }
 
 void applySolverOption(SolverOption opt) {
+  applySolverOption(opt, ExecutionContext::current());
+}
+
+void applySolverOption(SolverOption opt, ExecutionContext& ctx) {
   switch (opt) {
     case SolverOption::Default:
       break;
     case SolverOption::Auto:
-      sim::setSolverMode(sim::SolverMode::Auto);
+      ctx.setSolverKind(SolverKind::Auto);
       break;
     case SolverOption::Dense:
-      sim::setSolverMode(sim::SolverMode::Dense);
+      ctx.setSolverKind(SolverKind::Dense);
       break;
     case SolverOption::Sparse:
-      sim::setSolverMode(sim::SolverMode::Sparse);
+      ctx.setSolverKind(SolverKind::Sparse);
       break;
   }
 }
 
 void applySurrogateOption(SurrogateOption opt) {
-  auto& store = surrogate::Store::instance();
+  applySurrogateOption(opt, ExecutionContext::current());
+}
+
+void applySurrogateOption(SurrogateOption opt, ExecutionContext& ctx) {
+  auto& store = ctx.surrogateStore();
   switch (opt) {
     case SurrogateOption::Default:
-      // Touch the store anyway (mode() forces the singleton) so the
+      // Touch the store anyway (mode() forces the handle) so the
       // core.surrogate.* counters exist in every flow's report snapshot.
       (void)store.mode();
       break;
@@ -134,7 +146,7 @@ void applySurrogateOption(SurrogateOption opt) {
 FlowEngine::FlowEngine(std::vector<std::unique_ptr<FlowStage>> stages)
     : rules_(defaultRetargetRules()) {
   (void)flowCounters();  // eager registration (schema stability)
-  auto& registry = metrics::Registry::instance();
+  auto& registry = metrics::registry();
   stages_.reserve(stages.size());
   for (auto& stage : stages) {
     StageSlot slot;
@@ -208,12 +220,19 @@ sizing::SpecSet FlowEngine::retarget(const sizing::SpecSet& specs,
 
 FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process& proc,
                            const FlowOptions& opts) {
+  return run(specs, proc, opts, ExecutionContext::current());
+}
+
+FlowResult FlowEngine::run(const sizing::SpecSet& specs, const circuit::Process& proc,
+                           const FlowOptions& opts, ExecutionContext& exec) {
   AMSYN_SPAN("flow");
-  applyEvalCacheOptions(opts.evalCache);
-  applySolverOption(opts.solver);
-  applySurrogateOption(opts.surrogate);
+  ContextScope contextScope(exec);
+  applyEvalCacheOptions(opts.evalCache, exec);
+  applySolverOption(opts.solver, exec);
+  applySurrogateOption(opts.surrogate, exec);
 
   DesignContext ctx(specs, proc, opts);
+  ctx.exec = &exec;
   ctx.electrical = filterElectrical(specs);
   DeadlineBudget jobDeadline(0, effectiveDeadlineMs(opts.deadlineMs));
   ctx.jobBudget = &jobDeadline;

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/flow.hpp"
 #include "core/metrics.hpp"
 #include "topology/library.hpp"
@@ -137,6 +138,12 @@ struct DesignContext {
   /// the next strided cancel point; the engine itself checks expiry at
   /// every stage boundary.
   DeadlineBudget* jobBudget = nullptr;
+  /// The execution context this flow runs under (installed by the engine;
+  /// null only before run()).  Stages normally don't need it — the engine
+  /// holds a ContextScope for the run, so ExecutionContext::current()
+  /// already resolves here — but stages that hand work to foreign threads
+  /// can capture it explicitly.
+  ExecutionContext* exec = nullptr;
 };
 
 /// How a stage ended.  Failed aborts the attempt (detail/evalStatus become
@@ -182,6 +189,13 @@ class FlowEngine {
   /// stage of an attempt passed (or was skipped).
   FlowResult run(const sizing::SpecSet& specs, const circuit::Process& proc,
                  const FlowOptions& opts);
+
+  /// Context-explicit overload: the whole run executes under `exec` (a
+  /// ContextScope is installed for the duration) and the option appliers
+  /// act on that context's handles.  The three-argument form above is
+  /// exactly this with ExecutionContext::current().
+  FlowResult run(const sizing::SpecSet& specs, const circuit::Process& proc,
+                 const FlowOptions& opts, ExecutionContext& exec);
 
   /// The amplifier policy: ugf bounds divide by the measured
   /// model*layout ratio (floored at 0.2); pm bounds add the measured
@@ -290,18 +304,24 @@ class ExtractStage : public FlowStage {
 /// extract, verify-post-layout.
 std::vector<std::unique_ptr<FlowStage>> amplifierStageGraph();
 
-/// Apply a tri-state eval-cache config to the process-wide cache (called
-/// by the engine at flow start and by synthesizeBatch before fan-out).
+/// Apply a tri-state eval-cache config to a context's cache handle (called
+/// by the engine at flow start and by synthesizeBatch before fan-out).  The
+/// single-argument forms act on ExecutionContext::current() — for code with
+/// no installed context that is the ambient context's shared handles, i.e.
+/// the old process-wide behavior.
 void applyEvalCacheOptions(const EvalCacheOptions& opts);
+void applyEvalCacheOptions(const EvalCacheOptions& opts, ExecutionContext& ctx);
 
-/// Apply a solver-kernel choice to the process-wide mode (same call sites
-/// as applyEvalCacheOptions; Default is a no-op).
+/// Apply a solver-kernel choice to a context's solver preference (same call
+/// sites as applyEvalCacheOptions; Default is a no-op).
 void applySolverOption(SolverOption opt);
+void applySolverOption(SolverOption opt, ExecutionContext& ctx);
 
-/// Apply a surrogate-screening choice to the process-wide store (same call
-/// sites as applyEvalCacheOptions; Default is a no-op).  Always touches the
-/// store so its core.surrogate.* counters register eagerly — run-report
-/// schemas must match across modes.
+/// Apply a surrogate-screening choice to a context's store handle (same
+/// call sites as applyEvalCacheOptions; Default is a no-op).  Always
+/// touches the store so its core.surrogate.* counters register eagerly —
+/// run-report schemas must match across modes.
 void applySurrogateOption(SurrogateOption opt);
+void applySurrogateOption(SurrogateOption opt, ExecutionContext& ctx);
 
 }  // namespace amsyn::core

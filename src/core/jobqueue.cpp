@@ -44,14 +44,14 @@ struct JobCounters {
 };
 const JobCounters& jobCounters() {
   static const JobCounters ids = {
-      metrics::Registry::instance().counter("core.jobs.submitted"),
-      metrics::Registry::instance().counter("core.jobs.admitted"),
-      metrics::Registry::instance().counter("core.jobs.rejected"),
-      metrics::Registry::instance().counter("core.jobs.succeeded"),
-      metrics::Registry::instance().counter("core.jobs.failed"),
-      metrics::Registry::instance().counter("core.jobs.retries"),
-      metrics::Registry::instance().counter("core.jobs.resumed"),
-      metrics::Registry::instance().counter("core.jobs.exceptions"),
+      metrics::registry().counter("core.jobs.submitted"),
+      metrics::registry().counter("core.jobs.admitted"),
+      metrics::registry().counter("core.jobs.rejected"),
+      metrics::registry().counter("core.jobs.succeeded"),
+      metrics::registry().counter("core.jobs.failed"),
+      metrics::registry().counter("core.jobs.retries"),
+      metrics::registry().counter("core.jobs.resumed"),
+      metrics::registry().counter("core.jobs.exceptions"),
   };
   return ids;
 }
@@ -92,6 +92,12 @@ JobQueue::JobQueue(JobQueueOptions opts) : opts_(std::move(opts)) {
 
 JobRecord JobQueue::runOne(std::size_t index, const sizing::SpecSet& specs,
                            const circuit::Process& proc) {
+  // One child context per job: same config/handles as the submitting
+  // tenant's context (or ambient), its own metrics slice and fault schedule
+  // falling back to the parent chain — so a tenant's armed chaos plan
+  // governs its jobs but never its siblings'.
+  const auto jobContext = ExecutionContext::current().makeChild();
+  ContextScope contextScope(*jobContext);
   // Bind this job's fault-occurrence counters to whichever pool thread
   // picked it up; retries run inside the same scope so each attempt sees
   // fresh, deterministic draws.

@@ -85,6 +85,12 @@ struct ShardHandle {
 };
 thread_local ShardHandle tlShard;
 
+/// The calling thread's active per-context slice (nullptr = unsliced).
+/// Owned by whatever ExecutionContext installed it; a SliceScope strictly
+/// outlives the recording it covers, so no lifetime management is needed
+/// here.
+thread_local ContextSlice* tlSlice = nullptr;
+
 Shard& threadShard(Registry::Impl& impl) {
   if (!tlShard.shard) {
     auto s = std::make_shared<Shard>();
@@ -116,7 +122,10 @@ CounterId Registry::counter(const std::string& name) {
   auto it = im.counterIndex.find(name);
   if (it != im.counterIndex.end()) return {it->second};
   if (im.counterNames.size() >= kMaxCounters)
-    throw std::length_error("metrics::Registry: counter capacity exhausted");
+    throw std::length_error(
+        "metrics::Registry: counter capacity exhausted registering \"" + name +
+        "\" (" + std::to_string(im.counterNames.size()) + "/" +
+        std::to_string(kMaxCounters) + " counters in use; raise kMaxCounters)");
   const auto idx = static_cast<std::uint32_t>(im.counterNames.size());
   im.counterNames.push_back(name);
   im.counterIndex.emplace(name, idx);
@@ -129,7 +138,11 @@ HistogramId Registry::histogram(const std::string& name) {
   auto it = im.histIndex.find(name);
   if (it != im.histIndex.end()) return {it->second};
   if (im.histNames.size() >= kMaxHistograms)
-    throw std::length_error("metrics::Registry: histogram capacity exhausted");
+    throw std::length_error(
+        "metrics::Registry: histogram capacity exhausted registering \"" + name +
+        "\" (" + std::to_string(im.histNames.size()) + "/" +
+        std::to_string(kMaxHistograms) +
+        " histograms in use; raise kMaxHistograms)");
   const auto idx = static_cast<std::uint32_t>(im.histNames.size());
   im.histNames.push_back(name);
   im.histIndex.emplace(name, idx);
@@ -156,6 +169,10 @@ void Registry::setGauge(const std::string& name, double value) {
 
 void Registry::add(CounterId id, std::uint64_t delta) {
   threadShard(impl()).counters[id.idx].fetch_add(delta, std::memory_order_relaxed);
+  // Per-context attribution rides on top of the shard write: the process
+  // total above is the source of truth, slices are pure observers, so the
+  // thread-count-invariance and bit-identity of totals are untouched.
+  for (ContextSlice* s = tlSlice; s; s = s->parent()) s->bump(id.idx, delta);
 }
 
 void Registry::record(HistogramId id, double value) {
@@ -259,5 +276,31 @@ void Registry::reset() {
   }
   im.gauges.clear();
 }
+
+Registry& registry() { return Registry::instance(); }
+
+ContextSlice::ContextSlice()
+    : slots_(std::make_unique<std::array<std::atomic<std::uint64_t>, kMaxCounters>>()) {
+  for (auto& s : *slots_) s.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t ContextSlice::value(CounterId id) const {
+  return (*slots_)[id.idx].load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> ContextSlice::counters() const {
+  std::map<std::string, std::uint64_t> out;
+  auto& reg = Registry::instance();
+  const std::size_t n = reg.counterCount();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t v = (*slots_)[i].load(std::memory_order_relaxed);
+    if (v != 0) out.emplace(reg.counterName(i), v);
+  }
+  return out;
+}
+
+SliceScope::SliceScope(ContextSlice* slice) : prev_(tlSlice) { tlSlice = slice; }
+
+SliceScope::~SliceScope() { tlSlice = prev_; }
 
 }  // namespace amsyn::core::metrics

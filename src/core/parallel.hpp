@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/threadpool.hpp"
 
 namespace amsyn::core {
@@ -55,10 +56,17 @@ void parallelFor(std::size_t n, Fn&& fn, ThreadPool* poolOverride = nullptr) {
     }
   };
 
+  // Helper tasks run under the submitting thread's execution context: a
+  // job's parallel sections stay inside that job's scope even when its
+  // indices execute on shared pool workers (or are stolen by another
+  // tenant's barrier wait below).
+  ExecutionContext& ctx = ExecutionContext::current();
+
   const std::size_t helperCount = std::min(pool.threadCount(), n - 1);
   st->helpers.store(helperCount);
   for (std::size_t h = 0; h < helperCount; ++h) {
-    pool.submit([st, runIndices] {
+    pool.submit([st, runIndices, &ctx] {
+      ContextScope scope(ctx);
       runIndices();
       if (st->helpers.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lk(st->mutex);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "core/context.hpp"
 #include "core/runreport.hpp"
 
 namespace amsyn::core {
@@ -41,12 +41,10 @@ bool RetryPolicy::shouldRetry(EvalStatus st, std::size_t attemptsSoFar) const {
 
 std::uint64_t effectiveDeadlineMs(std::uint64_t optionMs) {
   if (optionMs != 0) return optionMs;
-  if (const char* e = std::getenv("AMSYN_JOB_DEADLINE_MS")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(e, &end, 10);
-    if (end && *end == '\0') return static_cast<std::uint64_t>(v);
-  }
-  return 0;
+  // Fallback comes from the execution context's config (the ambient context
+  // carries the AMSYN_JOB_DEADLINE_MS env value; a tenant context carries
+  // whatever its creator configured).
+  return ExecutionContext::current().config().jobDeadlineMs;
 }
 
 // ---------------------------------------------------------------------------

@@ -97,7 +97,7 @@ std::string RunReport::toJson() const {
   os << "\n  }";
 
   if (includeMetrics) {
-    const auto snap = metrics::Registry::instance().snapshot();
+    const auto snap = metrics::registry().snapshot();
     os << ",\n  \"counters\": {\n";
     {
       ObjectWriter w(os, "    ");
@@ -126,7 +126,7 @@ std::string RunReport::toJson() const {
 
   if (includeSpans) {
     const auto spans = trace::collect();
-    auto& reg = metrics::Registry::instance();
+    auto& reg = metrics::registry();
     os << ",\n  \"spans\": {\n";
     {
       ObjectWriter w(os, "    ");

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "core/envknobs.hpp"
 #include "core/metrics.hpp"
 
 namespace amsyn::core::surrogate {
@@ -20,16 +21,6 @@ struct DigestHash {
     return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ULL));
   }
 };
-
-Mode envMode() {
-  if (const char* s = std::getenv("AMSYN_SURROGATE")) {
-    const std::string v(s);
-    if (v == "1" || v == "on" || v == "true" || v == "order" || v == "ordering")
-      return Mode::Ordering;
-    if (v == "prune" || v == "pruning") return Mode::Pruning;
-  }
-  return Mode::Off;
-}
 
 bool allFinite(const std::vector<double>& v) {
   for (double x : v)
@@ -165,7 +156,7 @@ struct Store::Impl {
     std::unique_ptr<RidgeModel> model;
   };
 
-  std::atomic<Mode> mode{envMode()};
+  std::atomic<Mode> mode{Mode::Off};
   mutable std::mutex classesMutex;
   std::unordered_map<cache::Digest128, std::unique_ptr<ClassEntry>, DigestHash>
       classes;
@@ -178,8 +169,16 @@ struct Store::Impl {
   metrics::CounterId cObservations, cPredictions, cDeclined, cOrderedBatches,
       cPruned;
 
-  Impl() {
-    auto& reg = metrics::Registry::instance();
+  explicit Impl(bool shared) {
+    if (shared) {
+      // The process-wide store seeds its mode from AMSYN_SURROGATE via the
+      // shared envknobs parser; isolated stores start Off and are configured
+      // by their owning ExecutionContext.
+      const int m = envknobs::surrogateModeIndex();
+      mode.store(m == 2 ? Mode::Pruning : m == 1 ? Mode::Ordering : Mode::Off,
+                 std::memory_order_relaxed);
+    }
+    auto& reg = metrics::registry();
     // Registered eagerly (not at first observation) so run-report counter
     // key-sets are identical with the surrogate off, ordering, and pruning —
     // report_schema_test compares schemas across modes.
@@ -188,9 +187,14 @@ struct Store::Impl {
     cDeclined = reg.counter("core.surrogate.declined");
     cOrderedBatches = reg.counter("core.surrogate.ordered_batches");
     cPruned = reg.counter("core.surrogate.pruned");
-    reg.registerExternal("core.surrogate.classes", [this] {
-      return classCount.load(std::memory_order_relaxed);
-    });
+    if (shared) {
+      // Only the shared store backs the process-wide class gauge:
+      // registerExternal replaces readers by name, so an isolated store
+      // registering here would hijack the report field.
+      reg.registerExternal("core.surrogate.classes", [this] {
+        return classCount.load(std::memory_order_relaxed);
+      });
+    }
   }
 
   ClassEntry& entryFor(const cache::Digest128& key, bool& created) {
@@ -211,16 +215,17 @@ struct Store::Impl {
   }
 };
 
-Store::Store() = default;
+Store::Store(bool shared) : impl_(std::make_unique<Impl>(shared)) {}
+
+Store::~Store() = default;
 
 Store& Store::instance() {
-  static Store* leaked = new Store();
+  static Store* leaked = new Store(/*shared=*/true);
   return *leaked;
 }
 
-Store::Impl& Store::impl() const {
-  static Impl* leaked = new Impl();
-  return *leaked;
+std::unique_ptr<Store> Store::createIsolated() {
+  return std::unique_ptr<Store>(new Store(/*shared=*/false));
 }
 
 Mode Store::mode() const { return impl().mode.load(std::memory_order_relaxed); }
@@ -291,7 +296,7 @@ std::vector<Store::PruneRecord> Store::pruneLog() const {
 
 Store::SurrogateStats Store::stats() const {
   Impl& im = impl();
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   SurrogateStats s;
   s.observations = reg.total(im.cObservations);
   s.predictions = reg.total(im.cPredictions);

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -125,7 +126,17 @@ class RidgeModel {
 /// switch, metrics, and the pruning audit log.  All methods are thread-safe.
 class Store {
  public:
+  /// The process-wide store (leaked on purpose).  Production code resolves
+  /// it through core::ExecutionContext; the shared instance seeds its mode
+  /// from AMSYN_SURROGATE.
   static Store& instance();
+
+  /// A private store for context isolation: own models, prune log, and
+  /// class gauge, starting in Mode::Off with no env seeding and no registry
+  /// externals ("core.surrogate.classes" keeps naming the shared store).
+  static std::unique_ptr<Store> createIsolated();
+
+  ~Store();
 
   /// Consumption mode; initialized from AMSYN_SURROGATE (unset/"0"/"off" =
   /// Off, "1"/"on"/"order"/"ordering" = Ordering, "prune"/"pruning" =
@@ -178,9 +189,12 @@ class Store {
   void clear();
 
  private:
-  Store();
+  /// `shared` selects env-seeded mode + the registry external (the process
+  /// instance) vs. Mode::Off and no externals (isolated instances).
+  explicit Store(bool shared);
   struct Impl;
-  Impl& impl() const;
+  Impl& impl() const { return *impl_; }
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Deterministic evaluation order for a scored batch: indices with scores

@@ -1,7 +1,8 @@
 #include "core/threadpool.hpp"
 
-#include <cstdlib>
 #include <string>
+
+#include "core/envknobs.hpp"
 
 namespace amsyn::core {
 
@@ -39,11 +40,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::configuredThreads() {
-  if (const char* env = std::getenv("AMSYN_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(std::min<long>(v, 512));
-  }
+  if (const std::size_t n = envknobs::threads(); n > 0) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? hw : 1;
 }

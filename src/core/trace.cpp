@@ -83,16 +83,16 @@ Span::Span(const char* name) {
   parentPath_ = shard.currentPath;
   path_ = parentPath_.empty() ? std::string(name) : parentPath_ + "/" + name;
   shard.currentPath = path_;
-  const std::size_t n = metrics::Registry::instance().counterCount();
+  const std::size_t n = metrics::registry().counterCount();
   before_.resize(n);
-  metrics::Registry::instance().threadCounterSnapshot(before_.data(), n);
+  metrics::registry().threadCounterSnapshot(before_.data(), n);
   startNs_ = monotonicNowNs();  // last: exclude our own setup from the span
 }
 
 Span::~Span() {
   const std::uint64_t durNs = monotonicNowNs() - startNs_;
   // Counters registered *during* the span are snapshotted as zero at open.
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   const std::size_t n = reg.counterCount();
   std::vector<std::uint64_t> after(n);
   reg.threadCounterSnapshot(after.data(), n);

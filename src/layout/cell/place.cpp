@@ -397,9 +397,9 @@ Placement placeCells(const std::vector<PlacementComponent>& components,
   // KOAN-style placement traffic, distinct from the sizing anneals that
   // share the generic anneal.* counters.
   static const auto cMoves =
-      core::metrics::Registry::instance().counter("place.moves_attempted");
+      core::metrics::registry().counter("place.moves_attempted");
   static const auto cAccepts =
-      core::metrics::Registry::instance().counter("place.moves_accepted");
+      core::metrics::registry().counter("place.moves_accepted");
   core::metrics::add(cMoves, stats.movesAttempted);
   core::metrics::add(cAccepts, stats.movesAccepted);
 

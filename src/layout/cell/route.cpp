@@ -416,7 +416,7 @@ RouteResult routeCells(const std::vector<CellInstance>& placed,
       // One registry touch per routing run: the maze loop itself only bumps
       // a local tally.
       static const auto cExpansions =
-          core::metrics::Registry::instance().counter("route.expansions");
+          core::metrics::registry().counter("route.expansions");
       core::metrics::add(cExpansions, expansions);
       return result;
     }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/context.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "core/surrogate.hpp"
@@ -74,7 +75,7 @@ WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process&
                             const Spec& spec) {
   AMSYN_SPAN("corner_hunt");
   static const auto cVertexEvals =
-      core::metrics::Registry::instance().counter("corners.vertex_evals");
+      core::metrics::registry().counter("corners.vertex_evals");
   // safeEvaluate: a corner whose evaluation throws or yields NaN comes back
   // tagged _infeasible, and signedMargin treats a missing performance as
   // violated (-1.0) — the pessimistic reading, which is the correct
@@ -118,7 +119,7 @@ WorstCorner worstCaseCorner(const ModelFactory& factory, const circuit::Process&
   std::vector<std::size_t> order(kVertices);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::vector<char> skipped(kVertices, 0);
-  auto& surrStore = core::surrogate::Store::instance();
+  auto& surrStore = core::currentSurrogateStore();
   const auto surrMode = surrStore.mode();
   if (surrMode != core::surrogate::Mode::Off && !spec.isObjective()) {
     struct VertexPred {
@@ -333,7 +334,7 @@ class CornerSetModel : public sizing::PerformanceModel {
 class ScopedOrderingOnly {
  public:
   ScopedOrderingOnly()
-      : store_(core::surrogate::Store::instance()), prev_(store_.mode()) {
+      : store_(core::currentSurrogateStore()), prev_(store_.mode()) {
     if (prev_ == core::surrogate::Mode::Pruning)
       store_.setMode(core::surrogate::Mode::Ordering);
   }

@@ -109,10 +109,10 @@ AnnealStats anneal(const AnnealProblem& problem, const AnnealOptions& opts) {
   // Bulk-record the run's move traffic: one registry touch per anneal, not
   // per move, keeps the inner loop free of even relaxed atomics.
   static const auto cMoves =
-      core::metrics::Registry::instance().counter("anneal.moves_attempted");
+      core::metrics::registry().counter("anneal.moves_attempted");
   static const auto cAccepts =
-      core::metrics::Registry::instance().counter("anneal.moves_accepted");
-  static const auto cStages = core::metrics::Registry::instance().counter("anneal.stages");
+      core::metrics::registry().counter("anneal.moves_accepted");
+  static const auto cStages = core::metrics::registry().counter("anneal.stages");
   core::metrics::add(cMoves, stats.movesAttempted);
   core::metrics::add(cAccepts, stats.movesAccepted);
   core::metrics::add(cStages, stats.stages);

@@ -35,7 +35,7 @@ const num::LUC& AcSolver::factorAt(double frequency) {
     recordLuReuse();
     return *lu_;
   }
-  if (FaultInjector::instance().takeLuFailure())
+  if (FaultInjector::threadLocal().takeLuFailure())
     throw std::runtime_error("injected singular LU");
   const double w = 2.0 * M_PI * frequency;
   num::MatrixC a(n_, n_);
@@ -52,7 +52,7 @@ void AcSolver::sparseFactorAt(double frequency) {
     recordLuReuse();
     return;
   }
-  if (FaultInjector::instance().takeLuFailure())
+  if (FaultInjector::threadLocal().takeLuFailure())
     throw std::runtime_error("injected singular LU");
   const double w = 2.0 * M_PI * frequency;
   for (std::size_t k = 0; k < aC_.val.size(); ++k) aC_.val[k] = {gVals_[k], w * cVals_[k]};
@@ -143,8 +143,8 @@ AcSweep acAnalysis(const Mna& mna, const DcResult& op, const std::string& output
                    const std::vector<double>& frequencies, core::EvalBudget* budget) {
   if (!op.converged) throw std::invalid_argument("acAnalysis: operating point not converged");
   AMSYN_SPAN("ac_sweep");
-  static const auto cSweeps = core::metrics::Registry::instance().counter("sim.ac_sweeps");
-  static const auto cPoints = core::metrics::Registry::instance().counter("sim.ac_points");
+  static const auto cSweeps = core::metrics::registry().counter("sim.ac_sweeps");
+  static const auto cPoints = core::metrics::registry().counter("sim.ac_points");
   core::metrics::add(cSweeps);
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode) throw std::invalid_argument("acAnalysis: unknown node " + outputNode);

@@ -46,7 +46,7 @@ bool allFinite(const num::VecD& v) {
 NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD& x,
                           double sourceScale, double gmin, const DcOptions& opts,
                           std::size_t& iterationsOut) {
-  FaultInjector& inj = FaultInjector::instance();
+  FaultInjector& inj = FaultInjector::threadLocal();
   if (inj.takeDcNewtonFailure()) return NewtonOutcome::Singular;
 
   const std::size_t n = mna.size();
@@ -105,7 +105,7 @@ NewtonOutcome newtonSolve(const Mna& mna, SparseNewtonContext* sparse, num::VecD
     }
     ++iterationsOut;
     static const auto cIters =
-        core::metrics::Registry::instance().counter("sim.newton_iterations");
+        core::metrics::registry().counter("sim.newton_iterations");
     core::metrics::add(cIters);
     if (maxDx < opts.vAbsTol) {
       // Confirm with the residual at the accepted point.
@@ -147,7 +147,7 @@ num::VecD flatStart(const Mna& mna, double nodeVoltage) {
 
 DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& opts) {
   AMSYN_SPAN("dc_solve");
-  static const auto cSolves = core::metrics::Registry::instance().counter("sim.dc_solves");
+  static const auto cSolves = core::metrics::registry().counter("sim.dc_solves");
   core::metrics::add(cSolves);
   DcResult res;
   res.x = x0;
@@ -161,17 +161,17 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
   if (useSparseSolver(mna.size())) sparseCtx = std::make_unique<SparseNewtonContext>(mna);
   SparseNewtonContext* sp = sparseCtx.get();
 
-  auto succeed = [&](const char* strategy, std::atomic<std::uint64_t>& counter) {
+  auto succeed = [&](const char* strategy, DcStrategy tally) {
     res.converged = true;
     res.status = EvalStatus::Ok;
     res.strategy = strategy;
-    counter.fetch_add(1, std::memory_order_relaxed);
+    recordDcStrategy(tally);
   };
 
   // Rung 1: plain Newton with a small safety gmin.
   NewtonOutcome out = newtonSolve(mna, sp, res.x, 1.0, 1e-12, opts, res.iterations);
   if (out == NewtonOutcome::Converged) {
-    succeed("newton", failureStats().strategyNewton);
+    succeed("newton", DcStrategy::Newton);
     return res;
   }
   res.status = outcomeStatus(out, opts);  // remember the most recent failure mode
@@ -193,7 +193,7 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
     }
     if (ok) out = newtonSolve(mna, sp, res.x, 1.0, 1e-12, opts, res.iterations);
     if (ok && out == NewtonOutcome::Converged) {
-      succeed("gmin", failureStats().strategyGmin);
+      succeed("gmin", DcStrategy::Gmin);
       return res;
     }
     res.status = outcomeStatus(out, opts);
@@ -216,7 +216,7 @@ DcResult dcOperatingPoint(const Mna& mna, const num::VecD& x0, const DcOptions& 
     }
     if (ok) out = newtonSolve(mna, sp, res.x, 1.0, 1e-12, opts, res.iterations);
     if (ok && out == NewtonOutcome::Converged) {
-      succeed("source", failureStats().strategySource);
+      succeed("source", DcStrategy::Source);
       return res;
     }
     res.status = outcomeStatus(out, opts);

@@ -1,13 +1,19 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 
+#include "core/context.hpp"
 #include "numeric/rng.hpp"
 
 namespace amsyn::sim {
 
-FaultInjector& FaultInjector::instance() {
+// The context-side schedule array must fit every site.
+static_assert(kFaultSiteCount <= core::FaultScheduleState::kMaxSites,
+              "FaultScheduleState::kMaxSites too small for FaultSite");
+
+FaultInjector& FaultInjector::threadLocal() {
   thread_local FaultInjector tlInjector;
   return tlInjector;
 }
@@ -59,7 +65,7 @@ bool FaultInjector::takeBudgetExhaustion() {
 }
 
 bool consumeWork(core::EvalBudget* budget, std::uint64_t units) {
-  FaultInjector& inj = FaultInjector::instance();
+  FaultInjector& inj = FaultInjector::threadLocal();
   if (inj.armed() && inj.takeBudgetExhaustion()) return false;
   if (takeBatchFault(FaultSite::BudgetCharge)) return false;
   if (!budget) return true;
@@ -70,9 +76,6 @@ bool consumeWork(core::EvalBudget* budget, std::uint64_t units) {
 // Batch-level deterministic fault schedule
 
 namespace {
-
-BatchFaultPlan gBatchPlan;
-std::atomic<bool> gBatchArmed{false};
 
 /// The calling thread's bound job: index + per-site occurrence counters.
 /// Lives on the heap, owned by the innermost BatchFaultScope, so nesting
@@ -107,17 +110,25 @@ constexpr bool isSolverSite(FaultSite s) {
 }  // namespace
 
 void armBatchFaults(const BatchFaultPlan& plan) {
-  gBatchPlan = plan;
-  gBatchArmed.store(true, std::memory_order_release);
+  // Writes land on the *current* context: ambient for legacy callers, the
+  // arming tenant's context in scoped code.  Plan fields are published
+  // before the release-store on `armed`, matching the acquire-load in
+  // takeBatchFault.
+  core::FaultScheduleState& fs = core::ExecutionContext::current().faultSchedule();
+  fs.seed = plan.seed;
+  std::copy(plan.rates, plan.rates + kFaultSiteCount, fs.rates.begin());
+  fs.armed.store(true, std::memory_order_release);
 }
 
 void disarmBatchFaults() {
-  gBatchArmed.store(false, std::memory_order_release);
-  gBatchPlan = BatchFaultPlan{};
+  core::FaultScheduleState& fs = core::ExecutionContext::current().faultSchedule();
+  fs.armed.store(false, std::memory_order_release);
+  fs.seed = 1;
+  fs.rates.fill(0.0);
 }
 
 bool batchFaultsArmed() {
-  return gBatchArmed.load(std::memory_order_acquire);
+  return core::ExecutionContext::current().armedFaultSchedule() != nullptr;
 }
 
 BatchFaultScope::BatchFaultScope(std::size_t jobIndex) {
@@ -137,7 +148,12 @@ SolverFaultWindow::SolverFaultWindow() : saved_(tlSolverWindow()) {
 SolverFaultWindow::~SolverFaultWindow() { tlSolverWindow() = saved_; }
 
 bool takeBatchFault(FaultSite site) {
-  if (!gBatchArmed.load(std::memory_order_acquire)) return false;
+  // Resolve the governing schedule through the current context chain: a job
+  // context inherits its tenant's (or the ambient) armed plan, and sibling
+  // contexts never observe each other's.
+  const core::FaultScheduleState* fs =
+      core::ExecutionContext::current().armedFaultSchedule();
+  if (!fs) return false;
   JobFaultState* state = tlJobState();
   if (!state) return false;
   if (isSolverSite(site) && !tlSolverWindow()) return false;
@@ -146,12 +162,12 @@ bool takeBatchFault(FaultSite site) {
   // control flow alone, not of which rates a particular plan enables.
   const auto siteIx = static_cast<std::size_t>(site);
   const std::uint64_t occurrence = state->occurrences[siteIx]++;
-  const double rate = gBatchPlan.rates[siteIx];
+  const double rate = fs->rates[siteIx];
   if (rate <= 0.0) return false;
   // Pure draw over (seed, jobIndex, site, occurrence): two SplitMix64
   // finalizer passes, the same construction the per-task RNG streams use.
   const std::uint64_t streamKey = num::Rng::streamSeed(
-      gBatchPlan.seed,
+      fs->seed,
       (static_cast<std::uint64_t>(state->jobIndex) << 8) |
           static_cast<std::uint64_t>(siteIx));
   const std::uint64_t h = num::Rng::streamSeed(streamKey, occurrence);

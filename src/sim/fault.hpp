@@ -11,9 +11,10 @@
 // construction.  Production code pays one thread-local bool load per hook
 // when disarmed.
 //
-// Batch/flow-level injection (the chaos harness) is a second, process-wide
-// mechanism: a seeded BatchFaultPlan armed once for a whole batch, with
-// every decision a pure function of (seed, jobIndex, site, occurrence).
+// Batch/flow-level injection (the chaos harness) is a second mechanism,
+// scoped to the current core::ExecutionContext: a seeded BatchFaultPlan
+// armed once for a whole batch, with every decision a pure function of
+// (seed, jobIndex, site, occurrence).
 // The thread_local plan above cannot express this — under the
 // work-stealing pool the thread that runs job i varies with thread count,
 // so thread-scoped counters would make injection schedule-dependent.
@@ -60,8 +61,10 @@ struct FaultPlan {
 
 class FaultInjector {
  public:
-  /// The calling thread's injector.
-  static FaultInjector& instance();
+  /// The calling thread's injector.  (Named for what it is — a thread_local
+  /// slot, not a process singleton; the context lint bans `::instance()`
+  /// spellings in production code.)
+  static FaultInjector& threadLocal();
 
   void arm(const FaultPlan& plan);
   void disarm();
@@ -82,9 +85,9 @@ class FaultInjector {
 class ScopedFaultInjection {
  public:
   explicit ScopedFaultInjection(const FaultPlan& plan) {
-    FaultInjector::instance().arm(plan);
+    FaultInjector::threadLocal().arm(plan);
   }
-  ~ScopedFaultInjection() { FaultInjector::instance().disarm(); }
+  ~ScopedFaultInjection() { FaultInjector::threadLocal().disarm(); }
 
   ScopedFaultInjection(const ScopedFaultInjection&) = delete;
   ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
@@ -123,7 +126,11 @@ struct BatchFaultPlan {
   double rate(FaultSite s) const { return rates[static_cast<std::size_t>(s)]; }
 };
 
-/// Arm/disarm the process-wide batch schedule.  Arming is not thread-safe
+/// Arm/disarm the *current ExecutionContext's* batch schedule.  Code with
+/// no installed context arms the ambient context — the old process-wide
+/// behavior — while a job context created under an armed ancestor inherits
+/// its schedule (takeBatchFault walks the parent chain), and sibling
+/// contexts never see each other's plans.  Arming is not thread-safe
 /// against in-flight jobs: arm before the batch fans out, disarm after it
 /// drains (RAII: ScopedBatchFaults).
 void armBatchFaults(const BatchFaultPlan& plan);

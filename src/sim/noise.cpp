@@ -31,7 +31,7 @@ NoiseResult noiseAnalysis(const Mna& mna, const DcResult& op, const std::string&
   if (!op.converged) throw std::invalid_argument("noiseAnalysis: op not converged");
   AMSYN_SPAN("noise_analysis");
   static const auto cRuns =
-      core::metrics::Registry::instance().counter("sim.noise_analyses");
+      core::metrics::registry().counter("sim.noise_analyses");
   core::metrics::add(cRuns);
   const auto outNode = mna.netlist().findNode(outputNode);
   if (!outNode || *outNode == circuit::kGround)

@@ -2,25 +2,35 @@
 
 #include <atomic>
 #include <cctype>
-#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
+
+#include "core/context.hpp"
 
 namespace amsyn::sim {
 
 namespace {
 
-SolverMode envSolverMode() {
-  const char* e = std::getenv("AMSYN_SOLVER");
-  if (!e) return SolverMode::Auto;
-  if (auto m = parseSolverMode(e)) return *m;
-  return SolverMode::Auto;  // unrecognized values keep the default
+// SolverMode <-> core::SolverKind: the preference is stored per
+// ExecutionContext (core layer, below sim), so the two enums mirror each
+// other and the sim layer maps at its boundary.
+SolverMode fromKind(core::SolverKind k) {
+  switch (k) {
+    case core::SolverKind::Dense: return SolverMode::Dense;
+    case core::SolverKind::Sparse: return SolverMode::Sparse;
+    case core::SolverKind::Auto: break;
+  }
+  return SolverMode::Auto;
 }
 
-std::atomic<SolverMode>& modeSlot() {
-  static std::atomic<SolverMode> mode{envSolverMode()};
-  return mode;
+core::SolverKind toKind(SolverMode m) {
+  switch (m) {
+    case SolverMode::Dense: return core::SolverKind::Dense;
+    case SolverMode::Sparse: return core::SolverKind::Sparse;
+    case SolverMode::Auto: break;
+  }
+  return core::SolverKind::Auto;
 }
 
 struct SymbolicCache {
@@ -35,9 +45,17 @@ SymbolicCache& symbolicCache() {
 
 }  // namespace
 
-SolverMode solverMode() { return modeSlot().load(std::memory_order_relaxed); }
+SolverMode solverMode() {
+  // Context-resolved: code running without an installed scope sees the
+  // ambient context, whose initial preference came from AMSYN_SOLVER —
+  // exactly the old process-global behavior.  A job context's override
+  // stays in that job.
+  return fromKind(core::ExecutionContext::current().solverKind());
+}
 
-void setSolverMode(SolverMode m) { modeSlot().store(m, std::memory_order_relaxed); }
+void setSolverMode(SolverMode m) {
+  core::ExecutionContext::current().setSolverKind(toKind(m));
+}
 
 std::optional<SolverMode> parseSolverMode(std::string_view s) {
   std::string lower;
@@ -85,7 +103,7 @@ void publishSymbolic(const core::cache::Digest128& key,
 
 const SparseCounters& sparseCounters() {
   static const SparseCounters ids = [] {
-    auto& reg = core::metrics::Registry::instance();
+    auto& reg = core::metrics::registry();
     SparseCounters c;
     c.analyses = reg.counter("sim.sparse.analyses");
     c.refactors = reg.counter("sim.sparse.refactors");

@@ -1,5 +1,7 @@
 #include "sim/stats.hpp"
 
+#include <array>
+#include <atomic>
 #include <string>
 
 #include "core/metrics.hpp"
@@ -16,41 +18,50 @@ struct LuCounters {
 };
 
 const LuCounters& luCounters() {
-  static const LuCounters ids{
-      metrics::Registry::instance().counter("sim.lu_factorizations"),
-      metrics::Registry::instance().counter("sim.lu_reuses")};
+  static const LuCounters ids{metrics::registry().counter("sim.lu_factorizations"),
+                              metrics::registry().counter("sim.lu_reuses")};
   return ids;
 }
 
-FailureStats gFailureStats;
+constexpr std::size_t kStrategyCount = 3;
 
-/// Surface the legacy global atomics through the registry as external
-/// counters, once per process.  Instantiated lazily from failureStats() and
-/// recordEvalFailure() so the registration cannot race static init order.
-struct FailureExternals {
-  FailureExternals() {
-    auto& reg = metrics::Registry::instance();
-    for (std::size_t i = 1; i < core::kEvalStatusCount; ++i) {
-      const auto reason = static_cast<core::EvalStatus>(i);
-      reg.registerExternal(std::string("sim.fail.") + core::evalStatusName(reason),
-                           [i] {
-                             return gFailureStats.byReason[i].load(
-                                 std::memory_order_relaxed);
-                           });
-    }
-    reg.registerExternal("sim.strategy.newton", [] {
-      return gFailureStats.strategyNewton.load(std::memory_order_relaxed);
-    });
-    reg.registerExternal("sim.strategy.gmin", [] {
-      return gFailureStats.strategyGmin.load(std::memory_order_relaxed);
-    });
-    reg.registerExternal("sim.strategy.source", [] {
-      return gFailureStats.strategySource.load(std::memory_order_relaxed);
-    });
-  }
+/// First-class registry ids for the failure taxonomy, registered as one
+/// block on first use (lazy, so registration cannot race static init
+/// order; eager within the block, so the report counter key-set never
+/// depends on which reasons actually fired).
+struct FailureCounters {
+  std::array<metrics::CounterId, core::kEvalStatusCount> byReason{};
+  std::array<metrics::CounterId, kStrategyCount> strategies{};
 };
 
-void ensureFailureExternals() { static FailureExternals once; }
+const FailureCounters& failureCounters() {
+  static const FailureCounters ids = [] {
+    auto& reg = metrics::registry();
+    FailureCounters c;
+    for (std::size_t i = 1; i < core::kEvalStatusCount; ++i) {
+      const auto reason = static_cast<core::EvalStatus>(i);
+      c.byReason[i] =
+          reg.counter(std::string("sim.fail.") + core::evalStatusName(reason));
+    }
+    c.strategies[static_cast<std::size_t>(DcStrategy::Newton)] =
+        reg.counter("sim.strategy.newton");
+    c.strategies[static_cast<std::size_t>(DcStrategy::Gmin)] =
+        reg.counter("sim.strategy.gmin");
+    c.strategies[static_cast<std::size_t>(DcStrategy::Source)] =
+        reg.counter("sim.strategy.source");
+    return c;
+  }();
+  return ids;
+}
+
+/// resetFailureStats() baselines — the registry is monotonic, so "reset" is
+/// a process-wide baseline capture for the delta reads below.
+struct FailureBaselines {
+  std::array<std::atomic<std::uint64_t>, core::kEvalStatusCount> byReason{};
+  std::array<std::atomic<std::uint64_t>, kStrategyCount> strategies{};
+};
+
+FailureBaselines gFailureBase;
 
 // Per-thread baselines for the legacy simStats() view: the registry shard is
 // monotonic, so "reset" is a baseline capture, not a zeroing.
@@ -70,7 +81,7 @@ void recordLuFactorization() { metrics::add(luCounters().factorizations); }
 void recordLuReuse() { metrics::add(luCounters().reuses); }
 
 SimStats& simStats() {
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   tlView.luFactorizations =
       sinceBase(reg.threadValue(luCounters().factorizations), tlBase.luFactorizations);
   tlView.luReuses = sinceBase(reg.threadValue(luCounters().reuses), tlBase.luReuses);
@@ -78,42 +89,52 @@ SimStats& simStats() {
 }
 
 void resetSimStats() {
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   tlBase.luFactorizations = reg.threadValue(luCounters().factorizations);
   tlBase.luReuses = reg.threadValue(luCounters().reuses);
   tlView = SimStats{};
 }
 
 SimStats totalSimStats() {
-  auto& reg = metrics::Registry::instance();
+  auto& reg = metrics::registry();
   SimStats total;
   total.luFactorizations = reg.total(luCounters().factorizations);
   total.luReuses = reg.total(luCounters().reuses);
   return total;
 }
 
-FailureStats& failureStats() {
-  ensureFailureExternals();
-  return gFailureStats;
+void recordDcStrategy(DcStrategy s) {
+  metrics::add(failureCounters().strategies[static_cast<std::size_t>(s)]);
 }
 
-void resetFailureStats() {
-  for (auto& c : gFailureStats.byReason) c.store(0, std::memory_order_relaxed);
-  gFailureStats.strategyNewton.store(0, std::memory_order_relaxed);
-  gFailureStats.strategyGmin.store(0, std::memory_order_relaxed);
-  gFailureStats.strategySource.store(0, std::memory_order_relaxed);
+std::uint64_t dcStrategyCount(DcStrategy s) {
+  const auto ix = static_cast<std::size_t>(s);
+  return sinceBase(
+      metrics::registry().total(failureCounters().strategies[ix]),
+      gFailureBase.strategies[ix].load(std::memory_order_relaxed));
 }
 
 void recordEvalFailure(core::EvalStatus reason) {
   if (reason == core::EvalStatus::Ok || reason == core::EvalStatus::kCount) return;
-  ensureFailureExternals();
-  gFailureStats.byReason[static_cast<std::size_t>(reason)].fetch_add(
-      1, std::memory_order_relaxed);
+  metrics::add(failureCounters().byReason[static_cast<std::size_t>(reason)]);
 }
 
 std::uint64_t evalFailureCount(core::EvalStatus reason) {
-  return gFailureStats.byReason[static_cast<std::size_t>(reason)].load(
-      std::memory_order_relaxed);
+  const auto ix = static_cast<std::size_t>(reason);
+  if (ix == 0 || ix >= core::kEvalStatusCount) return 0;
+  return sinceBase(metrics::registry().total(failureCounters().byReason[ix]),
+                   gFailureBase.byReason[ix].load(std::memory_order_relaxed));
+}
+
+void resetFailureStats() {
+  const FailureCounters& ids = failureCounters();
+  auto& reg = metrics::registry();
+  for (std::size_t i = 1; i < core::kEvalStatusCount; ++i)
+    gFailureBase.byReason[i].store(reg.total(ids.byReason[i]),
+                                   std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kStrategyCount; ++i)
+    gFailureBase.strategies[i].store(reg.total(ids.strategies[i]),
+                                     std::memory_order_relaxed);
 }
 
 }  // namespace amsyn::sim

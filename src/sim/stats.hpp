@@ -14,15 +14,15 @@
 // the run-total view and is thread-count-invariant.
 //
 // Failure taxonomy: per-reason tallies of failed candidate evaluations and
-// continuation-strategy usage (newton/gmin/source).  These remain
-// process-global atomics — tests assert on (and poke) the struct's fields
-// directly — and are surfaced through the registry as external counters
-// ("sim.fail.<reason>", "sim.strategy.<name>") so run reports see one
-// coherent namespace.
+// continuation-strategy usage (newton/gmin/source).  These are first-class
+// registry counters ("sim.fail.<reason>", "sim.strategy.<name>") — the
+// legacy FailureStats process-global atomics and their registerExternal
+// bridge are retired, which is what lets per-context metric slices cover
+// the failure taxonomy like every other counter.  The registry is
+// monotonic, so resetFailureStats() is a baseline capture (reads below are
+// deltas since the last reset), not a zeroing.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 
 #include "core/evalstatus.hpp"
@@ -51,23 +51,24 @@ void resetSimStats();
 /// correct at any AMSYN_THREADS.
 SimStats totalSimStats();
 
-/// Process-global failure/strategy tallies (see file comment).
-struct FailureStats {
-  /// Failed evaluations by reason, indexed by core::EvalStatus.
-  std::array<std::atomic<std::uint64_t>, core::kEvalStatusCount> byReason{};
-  /// DC operating points that converged via each continuation strategy.
-  std::atomic<std::uint64_t> strategyNewton{0};
-  std::atomic<std::uint64_t> strategyGmin{0};
-  std::atomic<std::uint64_t> strategySource{0};
-};
+/// DC continuation strategies tallied under "sim.strategy.<name>".
+enum class DcStrategy : std::uint8_t { Newton = 0, Gmin, Source };
 
-FailureStats& failureStats();
-void resetFailureStats();
+/// Tally one DC operating point that converged via `s` (hot path).
+void recordDcStrategy(DcStrategy s);
+
+/// Process-wide uses of one strategy since the last resetFailureStats().
+std::uint64_t dcStrategyCount(DcStrategy s);
 
 /// Tally one failed evaluation under its reason code (no-op for Ok).
 void recordEvalFailure(core::EvalStatus reason);
 
-/// Convenience read of one reason counter.
+/// Process-wide failures of one reason since the last resetFailureStats().
 std::uint64_t evalFailureCount(core::EvalStatus reason);
+
+/// Baseline every failure/strategy counter at its current total, so the
+/// reads above start from zero.  The underlying registry counters are NOT
+/// zeroed: process totals (and report snapshots) stay monotonic.
+void resetFailureStats();
 
 }  // namespace amsyn::sim

@@ -134,7 +134,7 @@ StepOutcome newtonStep(const Mna& mna, SparseNewtonContext* sparse,
         dx = sparse->solver.solve(f);
         haveDx = true;
       } else {
-        if (FaultInjector::instance().takeLuFailure()) {
+        if (FaultInjector::threadLocal().takeLuFailure()) {
           scache.valid = false;
           return StepOutcome::Failed;
         }
@@ -163,7 +163,7 @@ StepOutcome newtonStep(const Mna& mna, SparseNewtonContext* sparse,
         recordLuReuse();
       } else {
         try {
-          if (FaultInjector::instance().takeLuFailure())
+          if (FaultInjector::threadLocal().takeLuFailure())
             throw std::runtime_error("injected singular LU");
           cache.values = jac;
           cache.lu.emplace(std::move(jac));
@@ -201,7 +201,7 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
                                   const TransientOptions& opts) {
   AMSYN_SPAN("transient");
   static const auto cSolves =
-      core::metrics::Registry::instance().counter("sim.tran_solves");
+      core::metrics::registry().counter("sim.tran_solves");
   core::metrics::add(cSolves);
   TransientResult res;
   if (!op.converged) {
@@ -258,7 +258,7 @@ TransientResult transientAnalysis(const Mna& mna, const DcResult& op,
         res.time.push_back(t);
         res.states.push_back(x);
         static const auto cSteps =
-            core::metrics::Registry::instance().counter("sim.tran_steps");
+            core::metrics::registry().counter("sim.tran_steps");
         core::metrics::add(cSteps);
         accepted = true;
         firstStep = false;

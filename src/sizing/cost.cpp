@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/context.hpp"
 #include "core/metrics.hpp"
 #include "sim/stats.hpp"
 
@@ -86,7 +87,7 @@ void CostFunction::score(Detail& d) const {
 
 std::optional<CostFunction::Detail> CostFunction::tryPrune(
     const std::vector<double>& x) const {
-  auto& store = core::surrogate::Store::instance();
+  auto& store = core::currentSurrogateStore();
   if (store.mode() != core::surrogate::Mode::Pruning) return std::nullopt;
   // Only heavy evaluations are worth skipping: a cheap model's evaluation
   // costs about as much as the prediction that would replace it.
@@ -139,7 +140,7 @@ std::optional<CostFunction::Detail> CostFunction::tryPrune(
 }
 
 std::optional<double> CostFunction::predictedCost(const std::vector<double>& x) const {
-  auto& store = core::surrogate::Store::instance();
+  auto& store = core::currentSurrogateStore();
   if (store.mode() == core::surrogate::Mode::Off) return std::nullopt;
   const auto cand = surrogateCandidate(model_, x);
   if (!cand) return std::nullopt;
@@ -160,7 +161,7 @@ std::optional<double> CostFunction::predictedCost(const std::vector<double>& x) 
 CostFunction::Detail CostFunction::detailed(const std::vector<double>& x) const {
   evals_.fetch_add(1, std::memory_order_relaxed);
   static const auto cEvals =
-      core::metrics::Registry::instance().counter("sizing.cost_evals");
+      core::metrics::registry().counter("sizing.cost_evals");
   core::metrics::add(cEvals);
   if (auto pruned = tryPrune(x)) return *pruned;
   Detail d;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/canonical.hpp"
+#include "core/context.hpp"
 
 namespace amsyn::sizing {
 
@@ -59,7 +60,7 @@ Performance TwoStageEquationModel::evaluate(const std::vector<double>& x) const 
 std::optional<core::cache::Digest128> TwoStageEquationModel::cacheKey(
     const std::vector<double>& x) const {
   core::cache::Hasher128 h = keyPrefix_;
-  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
   return h.digest();
 }
 
@@ -141,7 +142,7 @@ Performance OtaEquationModel::evaluate(const std::vector<double>& x) const {
 std::optional<core::cache::Digest128> OtaEquationModel::cacheKey(
     const std::vector<double>& x) const {
   core::cache::Hasher128 h = keyPrefix_;
-  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
   return h.digest();
 }
 
@@ -306,7 +307,7 @@ class TwoStageCornerModel : public PerformanceModel {
   std::optional<core::cache::Digest128> cacheKey(
       const std::vector<double>& x) const override {
     core::cache::Hasher128 h = keyPrefix_;
-    h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+    h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
     return h.digest();
   }
 

@@ -17,9 +17,8 @@ namespace {
 /// (cache hits return before this point), and never pruned verdicts (the
 /// prune path skips safeEvaluate entirely) — so the surrogate can never
 /// train on its own predictions.
-void observeSurrogate(const PerformanceModel& model, const std::vector<double>& x,
-                      const Performance& perf) {
-  auto& store = core::surrogate::Store::instance();
+void observeSurrogate(core::surrogate::Store& store, const PerformanceModel& model,
+                      const std::vector<double>& x, const Performance& perf) {
   if (store.mode() == core::surrogate::Mode::Off) return;
   if (perf.count("_infeasible")) return;
   const auto cand = surrogateCandidate(model, x);
@@ -68,11 +67,19 @@ std::vector<double> processSurrogateContext(const circuit::Process& proc) {
 }
 
 Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x) {
+  return safeEvaluate(model, x, core::ExecutionContext::current());
+}
+
+Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x,
+                         core::ExecutionContext& ctx) {
   // Memoized fast path: the cache sits here — below every hot consumer
   // (sizing::CostFunction, topology/genetic batches, manufacture corner
   // hunts all evaluate through safeEvaluate) — so one integration point
-  // covers all three loops the paper's runtime analysis names.
-  auto& cache = core::cache::EvalCache::instance();
+  // covers all three loops the paper's runtime analysis names.  Both the
+  // cache and the surrogate store resolve through the execution context:
+  // the shared process-wide instances by default, a tenant's private ones
+  // when its context asked for isolation.
+  auto& cache = ctx.evalCache();
   std::optional<core::cache::Digest128> key;
   if (cache.enabled()) {
     if (model.evalCost() == EvalCost::Cheap) {
@@ -116,7 +123,7 @@ Performance safeEvaluate(const PerformanceModel& model, const std::vector<double
   // candidate reports the same _infeasible/_status data the first
   // evaluation did (the failure tally itself is recorded once, above).
   if (key) cache.insert(*key, x, {perf, performanceStatus(perf)});
-  observeSurrogate(model, x, perf);
+  observeSurrogate(ctx.surrogateStore(), model, x, perf);
   return perf;
 }
 

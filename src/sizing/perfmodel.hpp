@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/evalcache.hpp"
 #include "core/evalstatus.hpp"
 #include "core/surrogate.hpp"
@@ -137,8 +138,9 @@ class PerformanceModel {
 /// Total evaluation: never throws, never returns NaN scores.  An evaluator
 /// exception becomes {"_infeasible": 1, "_status": internal_error}; a NaN in
 /// any performance value marks the map infeasible with nan_detected (a NaN
-/// is a failed measurement, not a neutral score).  Both are tallied in
-/// sim::failureStats().  This is the containment boundary the corner search
+/// is a failed measurement, not a neutral score).  Both are tallied in the
+/// sim.fail.* registry counters (sim::recordEvalFailure).  This is the
+/// containment boundary the corner search
 /// and any direct model consumer should call instead of evaluate().
 ///
 /// Memoization: when the process-wide evaluation cache is enabled and the
@@ -150,6 +152,13 @@ class PerformanceModel {
 /// candidate, on the miss; observability counters are the only thing the
 /// cache changes — results are bit-identical with the cache on or off.
 Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x);
+
+/// Context-explicit overload: resolves the eval cache and surrogate store
+/// through `ctx` instead of the calling thread's current context.  The
+/// two-argument form above is exactly this with
+/// core::ExecutionContext::current().
+Performance safeEvaluate(const PerformanceModel& model, const std::vector<double>& x,
+                         core::ExecutionContext& ctx);
 
 /// Featurize one (model, x) pair for the surrogate store: nullopt when the
 /// model attests no signature; otherwise features =

@@ -5,6 +5,7 @@
 
 #include "awe/awe.hpp"
 #include "circuit/canonical.hpp"
+#include "core/context.hpp"
 #include "sim/dc.hpp"
 #include "sim/mna.hpp"
 #include "sim/stats.hpp"
@@ -67,7 +68,7 @@ std::optional<core::cache::Digest128> RelaxedDcModel::cacheKey(
   h.mixDouble(opts_.residualScale);
   h.mix(opts_.aweOrder);
   h.mixDouble(opts_.branchCurrentLimit);
-  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
   return h.digest();
 }
 

@@ -4,6 +4,7 @@
 
 #include "circuit/canonical.hpp"
 
+#include "core/context.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
@@ -46,7 +47,7 @@ std::optional<core::cache::Digest128> SimulationModel::cacheKey(
   h.mix(opts_.outputMustBeInterior ? 1u : 0u);
   h.mixDouble(opts_.interiorMargin);
   h.mix(opts_.workBudget);
-  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
   return h.digest();
 }
 

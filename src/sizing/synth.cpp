@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "core/context.hpp"
 #include "core/parallel.hpp"
 #include "core/surrogate.hpp"
 #include "core/trace.hpp"
@@ -95,7 +96,7 @@ SynthesisResult synthesizeSingle(const CostFunction& cost, const SynthesisOption
   prob.rankBatch = [&](const std::vector<std::vector<double>>& probes) {
     std::vector<std::size_t> order(probes.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    auto& store = core::surrogate::Store::instance();
+    auto& store = core::currentSurrogateStore();
     if (store.mode() == core::surrogate::Mode::Off) return order;
     std::vector<std::optional<double>> scores(probes.size());
     bool any = false;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "circuit/canonical.hpp"
+#include "core/context.hpp"
 #include "knowledge/opamp_plans.hpp"
 #include "sizing/builders.hpp"
 
@@ -35,7 +36,7 @@ ComposedOpampModel::ComposedOpampModel(const OpampStructure& s, const Process& p
 std::optional<core::cache::Digest128> ComposedOpampModel::cacheKey(
     const std::vector<double>& x) const {
   core::cache::Hasher128 h = keyPrefix_;
-  h.mixQuantizedDoubles(x, core::cache::EvalCache::instance().quantum());
+  h.mixQuantizedDoubles(x, core::currentEvalCache().quantum());
   return h.digest();
 }
 

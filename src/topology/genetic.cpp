@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/context.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "core/surrogate.hpp"
@@ -78,7 +79,7 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
     // the winner are bit-identical to the unranked run.
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), std::size_t{0});
-    if (core::surrogate::Store::instance().mode() != core::surrogate::Mode::Off) {
+    if (core::currentSurrogateStore().mode() != core::surrogate::Mode::Off) {
       std::vector<std::optional<double>> scores(n);
       bool any = false;
       for (std::size_t i = 0; i < n; ++i) {
@@ -92,7 +93,7 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
       }
       if (any) {
         order = core::surrogate::orderByScore(scores);
-        core::surrogate::Store::instance().noteOrderedBatch();
+        core::currentSurrogateStore().noteOrderedBatch();
       }
     }
     const auto errs = core::parallelForCaptured(n, [&](std::size_t i) {
@@ -112,7 +113,7 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
     }
     result.evaluations += batch.size() - first;
     static const auto cEvals =
-        core::metrics::Registry::instance().counter("genetic.evaluations");
+        core::metrics::registry().counter("genetic.evaluations");
     core::metrics::add(cEvals, batch.size() - first);
   };
 
@@ -139,7 +140,7 @@ GeneticResult geneticSelectAndSize(const TopologyLibrary& lib, const sizing::Spe
       [](const Individual& a, const Individual& b) { return a.fitness < b.fitness; });
 
   static const auto cGenerations =
-      core::metrics::Registry::instance().counter("genetic.generations");
+      core::metrics::registry().counter("genetic.generations");
   for (std::size_t gen = 0; gen < opts.generations; ++gen) {
     core::metrics::add(cGenerations);
     std::vector<Individual> next;

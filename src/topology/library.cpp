@@ -1,9 +1,9 @@
 #include "topology/library.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <stdexcept>
 
+#include "core/context.hpp"
 #include "sizing/eqmodel.hpp"
 #include "topology/compose.hpp"
 
@@ -144,9 +144,14 @@ std::vector<HeuristicRule> legacyTwoStageRules() {
 }
 
 TopologySpace defaultTopologySpace() {
-  if (const char* env = std::getenv("AMSYN_TOPOLOGY_SPACE")) {
-    const std::string v(env);
-    if (v == "generated" || v == "composed") return TopologySpace::Generated;
+  // The AMSYN_TOPOLOGY_SPACE knob now arrives through the execution
+  // context's config (parsed once in core::envknobs); the ambient context
+  // reproduces the old process-global behavior exactly.
+  switch (core::ExecutionContext::current().config().topologySpace) {
+    case core::TopologySpaceKind::Generated:
+      return TopologySpace::Generated;
+    case core::TopologySpaceKind::Legacy:
+      break;
   }
   return TopologySpace::Legacy;
 }

@@ -167,22 +167,27 @@ TEST(SimStatsShim, ThreadViewBaselinesOnReset) {
   EXPECT_EQ(sim::simStats().luReuses, 0u);
 }
 
-TEST(SimStatsShim, FailureCountersSurfaceAsExternals) {
+TEST(SimStatsShim, FailureTalliesAreFirstClassRegistryCounters) {
+  auto& reg = metrics::Registry::instance();
+  const auto nanBefore = reg.total("sim.fail.nan_detected");
+  const auto gminBefore = reg.total("sim.strategy.gmin");
   sim::resetFailureStats();
   sim::recordEvalFailure(core::EvalStatus::NanDetected);
   sim::recordEvalFailure(core::EvalStatus::NanDetected);
+  sim::recordDcStrategy(sim::DcStrategy::Gmin);
   EXPECT_EQ(sim::evalFailureCount(core::EvalStatus::NanDetected), 2u);
-  auto& reg = metrics::Registry::instance();
-  EXPECT_EQ(reg.total("sim.fail.nan_detected"), 2u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Gmin), 1u);
+  EXPECT_EQ(reg.total("sim.fail.nan_detected"), nanBefore + 2u);
+  EXPECT_EQ(reg.total("sim.strategy.gmin"), gminBefore + 1u);
   const auto snap = reg.snapshot();
   ASSERT_TRUE(snap.counters.count("sim.fail.nan_detected"));
-  EXPECT_EQ(snap.counters.at("sim.fail.nan_detected"), 2u);
-  // Externals track the legacy atomics: direct pokes (robustness_test style)
-  // show through.
-  sim::failureStats().strategyGmin.fetch_add(3);
-  EXPECT_GE(reg.total("sim.strategy.gmin"), 3u);
+  ASSERT_TRUE(snap.counters.count("sim.strategy.gmin"));
+  // Reset re-baselines the shim reads but never zeroes the registry: the
+  // process totals (and report snapshots) stay monotonic.
   sim::resetFailureStats();
-  EXPECT_EQ(reg.total("sim.fail.nan_detected"), 0u);
+  EXPECT_EQ(sim::evalFailureCount(core::EvalStatus::NanDetected), 0u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Gmin), 0u);
+  EXPECT_EQ(reg.total("sim.fail.nan_detected"), nanBefore + 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/process.hpp"
+#include "core/context.hpp"
 #include "core/evalcache.hpp"
 #include "core/evalstatus.hpp"
 #include "core/flow.hpp"
@@ -212,16 +213,29 @@ TEST(DeadlineBudget, ComposedBudgetExpiresAndLatches) {
   EXPECT_FALSE(unarmed.expired());
 }
 
-TEST(DeadlineBudget, EffectiveDeadlinePrefersOptionThenEnv) {
+TEST(DeadlineBudget, EffectiveDeadlinePrefersOptionThenContext) {
+  // The env knob is snapshotted into ContextConfig (once, at context
+  // creation); the fallback comes from the current context's config, not
+  // from a live getenv.
   unsetenv("AMSYN_JOB_DEADLINE_MS");
   EXPECT_EQ(core::effectiveDeadlineMs(0), 0u);
   EXPECT_EQ(core::effectiveDeadlineMs(250), 250u);
-  setenv("AMSYN_JOB_DEADLINE_MS", "900", 1);
+  core::ContextConfig cfg = core::ContextConfig::fromEnv();
+  cfg.jobDeadlineMs = 900;
+  core::ExecutionContext ctx(cfg);
+  core::ContextScope scope(ctx);
   EXPECT_EQ(core::effectiveDeadlineMs(0), 900u);
   EXPECT_EQ(core::effectiveDeadlineMs(250), 250u) << "explicit option wins";
+}
+
+TEST(DeadlineBudget, ContextConfigSnapshotsTheDeadlineEnvKnob) {
+  setenv("AMSYN_JOB_DEADLINE_MS", "900", 1);
+  EXPECT_EQ(core::ContextConfig::fromEnv().jobDeadlineMs, 900u);
   setenv("AMSYN_JOB_DEADLINE_MS", "junk", 1);
-  EXPECT_EQ(core::effectiveDeadlineMs(0), 0u) << "malformed env is ignored";
+  EXPECT_EQ(core::ContextConfig::fromEnv().jobDeadlineMs, 0u)
+      << "malformed env is ignored";
   unsetenv("AMSYN_JOB_DEADLINE_MS");
+  EXPECT_EQ(core::ContextConfig::fromEnv().jobDeadlineMs, 0u);
 }
 
 TEST(DeadlineBudget, DeadlineMakesSimEvaluationsUncacheable) {

@@ -2,7 +2,7 @@
 // demonstrably fire.  Deterministic fault injection (sim/fault.hpp) breaks
 // the solvers at precise points — forcing continuation rungs, NaN bail-outs,
 // budget exhaustion — and the tests assert both the structured outcome
-// (core::EvalStatus) and the observability counters (sim::failureStats()).
+// (core::EvalStatus) and the observability counters (sim/stats.hpp).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -160,8 +160,8 @@ TEST(FaultInjection, CleanSolveUsesNewtonStrategy) {
   ASSERT_TRUE(op.converged);
   EXPECT_EQ(op.status, EvalStatus::Ok);
   EXPECT_EQ(op.strategy, "newton");
-  EXPECT_EQ(sim::failureStats().strategyNewton.load(), 1u);
-  EXPECT_EQ(sim::failureStats().strategyGmin.load(), 0u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Newton), 1u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Gmin), 0u);
 }
 
 TEST(FaultInjection, SingleNewtonFailureFallsBackToGminRung) {
@@ -181,7 +181,7 @@ TEST(FaultInjection, SingleNewtonFailureFallsBackToGminRung) {
   ASSERT_TRUE(op.converged);
   EXPECT_EQ(op.status, EvalStatus::Ok);
   EXPECT_EQ(op.strategy, "gmin");
-  EXPECT_EQ(sim::failureStats().strategyGmin.load(), 1u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Gmin), 1u);
   for (std::size_t i = 0; i < clean.x.size(); ++i)
     EXPECT_NEAR(op.x[i], clean.x[i], 1e-6);
 }
@@ -197,7 +197,7 @@ TEST(FaultInjection, DoubleNewtonFailureFallsBackToSourceRung) {
   const auto op = sim::dcOperatingPoint(mna);
   ASSERT_TRUE(op.converged);
   EXPECT_EQ(op.strategy, "source");
-  EXPECT_EQ(sim::failureStats().strategySource.load(), 1u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Source), 1u);
 }
 
 TEST(FaultInjection, AllRungsKilledRecordsReasonCode) {
@@ -567,18 +567,18 @@ TEST(Selection, WorstCaseCornerSurvivesThrowingCorners) {
 TEST(FailureCounters, ResetClearsEveryReasonAndStrategy) {
   sim::recordEvalFailure(EvalStatus::NanDetected);
   sim::recordEvalFailure(EvalStatus::BadTopology);
-  sim::failureStats().strategyGmin.fetch_add(1);
+  sim::recordDcStrategy(sim::DcStrategy::Gmin);
   sim::resetFailureStats();
-  for (std::size_t i = 0; i < core::kEvalStatusCount; ++i)
-    EXPECT_EQ(sim::failureStats().byReason[i].load(), 0u);
-  EXPECT_EQ(sim::failureStats().strategyNewton.load(), 0u);
-  EXPECT_EQ(sim::failureStats().strategyGmin.load(), 0u);
-  EXPECT_EQ(sim::failureStats().strategySource.load(), 0u);
+  for (std::size_t i = 1; i < core::kEvalStatusCount; ++i)
+    EXPECT_EQ(sim::evalFailureCount(static_cast<EvalStatus>(i)), 0u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Newton), 0u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Gmin), 0u);
+  EXPECT_EQ(sim::dcStrategyCount(sim::DcStrategy::Source), 0u);
 }
 
 TEST(FailureCounters, OkIsNeverTallied) {
   sim::resetFailureStats();
   sim::recordEvalFailure(EvalStatus::Ok);
   for (std::size_t i = 0; i < core::kEvalStatusCount; ++i)
-    EXPECT_EQ(sim::failureStats().byReason[i].load(), 0u);
+    EXPECT_EQ(sim::evalFailureCount(static_cast<EvalStatus>(i)), 0u);
 }
